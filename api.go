@@ -1,0 +1,196 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/benchtab"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gen"
+	"repro/internal/opt"
+	"repro/internal/qasm"
+	"repro/internal/shor"
+	"repro/internal/sim"
+	"repro/internal/supremacy"
+	"repro/internal/verify"
+	"repro/internal/xeb"
+)
+
+// Core simulation types.
+type (
+	// Circuit is the gate-list IR accepted by the simulator.
+	Circuit = circuit.Circuit
+	// Gate is one circuit operation.
+	Gate = circuit.Gate
+	// Control is a (possibly negative) gate control.
+	Control = dd.Control
+	// Manager owns decision diagrams; exposed for state inspection.
+	Manager = dd.Manager
+	// VEdge is a state decision diagram (weighted root edge).
+	VEdge = dd.VEdge
+	// MEdge is an operation decision diagram.
+	MEdge = dd.MEdge
+	// Simulator runs circuits on a DD manager.
+	Simulator = sim.Simulator
+	// Options configures a simulation run.
+	Options = sim.Options
+	// Result reports a finished run.
+	Result = sim.Result
+	// Comparison relates approximate and exact runs.
+	Comparison = sim.Comparison
+)
+
+// Approximation types (the paper's contribution).
+type (
+	// Strategy decides when to approximate during simulation.
+	Strategy = core.Strategy
+	// MemoryDriven is the reactive strategy of Section IV-B.
+	MemoryDriven = core.MemoryDriven
+	// FidelityDriven is the proactive strategy of Section IV-C.
+	FidelityDriven = core.FidelityDriven
+	// Exact disables approximation.
+	Exact = core.Exact
+	// Report describes one approximation round.
+	Report = core.Report
+	// Round is a report bound to its circuit position.
+	Round = core.Round
+)
+
+// Workload types.
+type (
+	// SupremacyConfig describes a quantum-supremacy benchmark circuit.
+	SupremacyConfig = supremacy.Config
+	// ShorInstance is one shor_N_a benchmark.
+	ShorInstance = shor.Instance
+	// ShorRunOptions configures an end-to-end Shor run.
+	ShorRunOptions = shor.RunOptions
+	// ShorOutcome bundles simulation and factoring results.
+	ShorOutcome = shor.Outcome
+	// Table1Suite regenerates Table I.
+	Table1Suite = benchtab.Suite
+	// Table1Row is one Table I line.
+	Table1Row = benchtab.Row
+	// QASMProgram is a parsed OpenQASM 2.0 program.
+	QASMProgram = qasm.Program
+)
+
+// NewCircuit returns an empty circuit on n qubits.
+func NewCircuit(n int, name string) *Circuit { return circuit.New(n, name) }
+
+// NewSimulator returns a simulator with a fresh DD manager.
+func NewSimulator() *Simulator { return sim.New() }
+
+// RunAndCompare simulates a circuit exactly and approximately and measures
+// the true fidelity between the final states.
+func RunAndCompare(c *Circuit, opts Options) (*Comparison, error) {
+	return sim.RunAndCompare(c, opts)
+}
+
+// NewFidelityDriven returns the fidelity-driven strategy with the paper's
+// defaults (late block placement).
+func NewFidelityDriven(finalFidelity, roundFidelity float64) *FidelityDriven {
+	return core.NewFidelityDriven(finalFidelity, roundFidelity)
+}
+
+// ApproximateToFidelity applies one approximation round to a state DD,
+// removing the smallest-contribution nodes within the 1−fround budget
+// (Section IV-A).
+func ApproximateToFidelity(m *Manager, e VEdge, fround float64) (VEdge, Report, error) {
+	return core.ApproximateToFidelity(m, e, fround)
+}
+
+// NodeContributions computes Definition 2's per-node contributions.
+func NodeContributions(m *Manager, e VEdge) map[*dd.VNode]float64 {
+	return core.Contributions(m, e)
+}
+
+// NewShorInstance validates a shor_N_a benchmark instance.
+func NewShorInstance(n, a uint64) (*ShorInstance, error) { return shor.NewInstance(n, a) }
+
+// ShorFactor factors n end-to-end with simulated order finding.
+func ShorFactor(n uint64, opts ShorRunOptions) (*ShorOutcome, error) {
+	return shor.Factor(n, opts)
+}
+
+// ParseQASM parses an OpenQASM 2.0 source into a circuit.
+func ParseQASM(src, name string) (*QASMProgram, error) { return qasm.Parse(src, name) }
+
+// Table1 returns the benchmark suite for a preset ("small", "medium",
+// "paper").
+func Table1(preset string) (Table1Suite, error) { return benchtab.NewSuite(preset) }
+
+// FormatTable renders Table I rows as markdown.
+func FormatTable(rows []Table1Row) string { return benchtab.FormatMarkdown(rows) }
+
+// FormatTableCSV renders Table I rows as CSV.
+func FormatTableCSV(rows []Table1Row) string { return benchtab.FormatCSV(rows) }
+
+// Circuit generators re-exported from internal/gen.
+
+// QFTCircuit returns an n-qubit quantum Fourier transform.
+func QFTCircuit(n int) *Circuit { return gen.QFT(n) }
+
+// InverseQFTCircuit returns an n-qubit inverse QFT.
+func InverseQFTCircuit(n int) *Circuit { return gen.InverseQFT(n) }
+
+// GHZCircuit prepares the n-qubit GHZ state.
+func GHZCircuit(n int) *Circuit { return gen.GHZ(n) }
+
+// WStateCircuit prepares the n-qubit W state.
+func WStateCircuit(n int) *Circuit { return gen.WState(n) }
+
+// GroverCircuit searches for `marked` on n qubits.
+func GroverCircuit(n int, marked uint64, iterations int) *Circuit {
+	return gen.Grover(n, marked, iterations)
+}
+
+// BernsteinVaziraniCircuit recovers an n-bit secret in one query.
+func BernsteinVaziraniCircuit(n int, secret uint64) *Circuit {
+	return gen.BernsteinVazirani(n, secret)
+}
+
+// RandomCliffordTCircuit returns a seeded random {H,S,T,CX} circuit.
+func RandomCliffordTCircuit(n, gates int, seed int64) *Circuit {
+	return gen.RandomCliffordT(n, gates, seed)
+}
+
+// CountNodes returns the node count of a state DD (the paper's size metric).
+func CountNodes(e VEdge) int { return dd.CountVNodes(e) }
+
+// RenderDD returns a human-readable description of a state DD.
+func RenderDD(e VEdge) string { return dd.Render(e) }
+
+// DOTDD renders a state DD in Graphviz format (Fig. 1b style).
+func DOTDD(e VEdge, name string) string { return dd.DOT(e, name) }
+
+// ExportQASM renders a circuit as OpenQASM 2.0 source.
+func ExportQASM(c *Circuit) (string, error) { return qasm.Export(c) }
+
+// EquivalenceResult reports a circuit equivalence check.
+type EquivalenceResult = verify.Result
+
+// CircuitsEquivalent checks unitary equivalence up to global phase via
+// decision diagrams (V†·U ≟ λ·I).
+func CircuitsEquivalent(u, v *Circuit) (*EquivalenceResult, error) {
+	return verify.Equivalent(u, v)
+}
+
+// XEBScore draws shots samples from test and computes their linear
+// cross-entropy fidelity against ideal (both states in manager m).
+func XEBScore(m *Manager, ideal, test VEdge, n, shots int, rng *rand.Rand) (float64, error) {
+	return xeb.Score(m, ideal, test, n, shots, rng)
+}
+
+// ApproximateToSize shrinks a state DD to at most maxNodes nodes, reporting
+// (but not bounding) the fidelity cost.
+func ApproximateToSize(m *Manager, e VEdge, maxNodes int) (VEdge, Report, error) {
+	return core.ApproximateToSize(m, e, maxNodes)
+}
+
+// OptimizeStats reports what OptimizeCircuit did.
+type OptimizeStats = opt.Stats
+
+// OptimizeCircuit returns an equivalent circuit with adjacent inverse pairs
+// cancelled, rotations merged, and identity gates dropped.
+func OptimizeCircuit(c *Circuit) (*Circuit, OptimizeStats) { return opt.Optimize(c) }

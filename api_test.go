@@ -1,0 +1,174 @@
+package repro_test
+
+// Integration tests exercising the public facade exactly as the README and
+// examples present it.
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeBellState(t *testing.T) {
+	c := repro.NewCircuit(2, "bell")
+	c.H(1)
+	c.CX(1, 0)
+	s := repro.NewSimulator()
+	res, err := s.Run(c, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := s.M.ToVector(res.Final, 2)
+	want := 1 / math.Sqrt2
+	if math.Abs(real(vec[0])-want) > 1e-12 || math.Abs(real(vec[3])-want) > 1e-12 {
+		t.Errorf("Bell amplitudes %v", vec)
+	}
+}
+
+func TestFacadeApproximationFlow(t *testing.T) {
+	c := repro.RandomCliffordTCircuit(8, 120, 4)
+	cmp, err := repro.RunAndCompare(c, repro.Options{
+		Strategy: &repro.MemoryDriven{Threshold: 16, RoundFidelity: 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TrueFidelity < cmp.Approx.FidelityBound-1e-6 {
+		t.Errorf("true fidelity %v below bound %v", cmp.TrueFidelity, cmp.Approx.FidelityBound)
+	}
+}
+
+func TestFacadeShor(t *testing.T) {
+	out, err := repro.ShorFactor(15, repro.ShorRunOptions{Shots: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Factors.Success || out.Factors.Factor1*out.Factors.Factor2 != 15 {
+		t.Errorf("Factor(15): %+v", out.Factors)
+	}
+}
+
+func TestFacadeQASMRoundTrip(t *testing.T) {
+	c := repro.GHZCircuit(4)
+	src, err := repro.ExportQASM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := repro.ParseQASM(src, "ghz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := repro.CircuitsEquivalent(c, prog.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Equivalent {
+		t.Error("QASM round trip broke equivalence")
+	}
+}
+
+func TestFacadeContributionsAndApprox(t *testing.T) {
+	s := repro.NewSimulator()
+	res, err := s.Run(repro.WStateCircuit(6), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contribs := repro.NodeContributions(s.M, res.Final)
+	if len(contribs) == 0 {
+		t.Fatal("no contributions")
+	}
+	_, rep, err := repro.ApproximateToFidelity(s.M, res.Final, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Achieved < 0.8-1e-9 {
+		t.Errorf("fidelity guarantee broken: %v", rep.Achieved)
+	}
+	small, rep2, err := repro.ApproximateToSize(s.M, res.Final, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.CountNodes(small) > 10 || rep2.Achieved <= 0 {
+		t.Errorf("size-targeted approximation: %d nodes, f=%v",
+			repro.CountNodes(small), rep2.Achieved)
+	}
+}
+
+func TestFacadeXEB(t *testing.T) {
+	cfg := repro.SupremacyConfig{Rows: 3, Cols: 3, Depth: 48, Seed: 1}
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := repro.NewSimulator()
+	res, err := s.Run(c, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	score, err := repro.XEBScore(s.M, res.Final, res.Final, 9, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(score-1) > 0.2 {
+		t.Errorf("self-XEB %v", score)
+	}
+}
+
+func TestFacadeTable1Formatting(t *testing.T) {
+	suite, err := repro.Table1("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Name != "small" || len(suite.Shor) == 0 {
+		t.Error("suite misconfigured")
+	}
+	rows := []repro.Table1Row{{
+		Approach: "fidelity-driven", Name: "shor_15_7", Qubits: 12,
+		ExactMaxDD: 43, RoundFid: 0.9, FinalFid: 1, TrueFidelity: 1,
+	}}
+	md := repro.FormatTable(rows)
+	if !strings.Contains(md, "shor_15_7") {
+		t.Error("markdown formatting broken")
+	}
+	csv := repro.FormatTableCSV(rows)
+	if !strings.Contains(csv, "fidelity-driven") {
+		t.Error("CSV formatting broken")
+	}
+}
+
+func TestFacadeDOTAndRender(t *testing.T) {
+	s := repro.NewSimulator()
+	res, err := s.Run(repro.GHZCircuit(3), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dot := repro.DOTDD(res.Final, "ghz"); !strings.Contains(dot, "digraph") {
+		t.Error("DOT broken")
+	}
+	if r := repro.RenderDD(res.Final); !strings.Contains(r, "q2") {
+		t.Error("Render broken")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	for name, c := range map[string]*repro.Circuit{
+		"qft":    repro.QFTCircuit(5),
+		"iqft":   repro.InverseQFTCircuit(5),
+		"ghz":    repro.GHZCircuit(5),
+		"w":      repro.WStateCircuit(5),
+		"grover": repro.GroverCircuit(5, 3, 2),
+		"bv":     repro.BernsteinVaziraniCircuit(5, 0b10110),
+	} {
+		if c.Len() == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+		s := repro.NewSimulator()
+		if _, err := s.Run(c, repro.Options{}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command ddsim simulates a quantum circuit with optional approximation.
+//
+// The circuit comes from an OpenQASM 2.0 file (-qasm) or a builtin generator
+// (-gen). Strategies: none (exact), mem (memory-driven), fid
+// (fidelity-driven).
+//
+// Examples:
+//
+//	ddsim -gen qft:12 -shots 8
+//	ddsim -gen grover:10:333 -strategy fid -ffinal 0.8 -fround 0.95
+//	ddsim -qasm circuit.qasm -optimize -strategy mem -threshold 4096 -fround 0.99
+//	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05
+//	ddsim -gen ghz:4 -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gen"
+	"repro/internal/opt"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+)
+
+func main() {
+	qasmPath := flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
+	genSpec := flag.String("gen", "", "builtin generator: qft:N | iqft:N | ghz:N | w:N | grover:N[:marked] | bv:N[:secret] | random:N:GATES[:seed] | qsup:RxC:DEPTH[:seed]")
+	strategy := flag.String("strategy", "none", "approximation strategy: none, mem, fid")
+	threshold := flag.Int("threshold", 4096, "memory-driven node threshold")
+	growth := flag.Float64("growth", 2, "memory-driven threshold growth factor")
+	fround := flag.Float64("fround", 0.99, "per-round target fidelity")
+	ffinal := flag.Float64("ffinal", 0.5, "fidelity-driven final fidelity bound")
+	shots := flag.Int("shots", 0, "samples to draw from the final state")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	dotPath := flag.String("dot", "", "write the final state DD in Graphviz format")
+	history := flag.Bool("history", false, "print the per-gate DD size history")
+	optimize := flag.Bool("optimize", false, "peephole-optimize the circuit before simulating")
+	flag.Parse()
+
+	circ, err := loadCircuit(*qasmPath, *genSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		var stats opt.Stats
+		circ, stats = opt.Optimize(circ)
+		fmt.Printf("optimized:  -%d pairs, %d merges, -%d identities (%d passes)\n",
+			stats.CancelledPairs, stats.MergedGates, stats.DroppedGates, stats.Passes)
+	}
+
+	opts := sim.Options{CollectSizeHistory: *history}
+	switch *strategy {
+	case "none":
+	case "mem":
+		opts.Strategy = &core.MemoryDriven{
+			Threshold: *threshold, RoundFidelity: *fround, Growth: *growth,
+		}
+	case "fid":
+		opts.Strategy = core.NewFidelityDriven(*ffinal, *fround)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	s := sim.New()
+	res, err := s.Run(circ, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit:    %s\n", circ.String())
+	fmt.Printf("strategy:   %s\n", res.StrategyName)
+	fmt.Printf("max DD:     %d nodes\n", res.MaxDDSize)
+	fmt.Printf("final DD:   %d nodes\n", res.FinalDDSize)
+	fmt.Printf("runtime:    %v\n", res.Runtime)
+	if len(res.Rounds) > 0 {
+		fmt.Printf("rounds:     %d\n", len(res.Rounds))
+		fmt.Printf("fidelity:   %.6f (bound %.6f)\n", res.EstimatedFidelity, res.FidelityBound)
+		for _, r := range res.Rounds {
+			fmt.Printf("  after gate %4d: %6d -> %6d nodes, fidelity %.6f\n",
+				r.GateIndex, r.Report.SizeBefore, r.Report.SizeAfter, r.Report.Achieved)
+		}
+	}
+	if *history {
+		fmt.Print("size history:")
+		for i, sz := range res.SizeHistory {
+			if i%8 == 0 {
+				fmt.Printf("\n  gate %4d:", i)
+			}
+			fmt.Printf(" %7d", sz)
+		}
+		fmt.Println()
+	}
+	if *shots > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		hist := s.M.SampleMany(res.Final, circ.NumQubits, *shots, rng)
+		fmt.Printf("samples (%d shots):\n", *shots)
+		printed := 0
+		for idx, count := range hist {
+			fmt.Printf("  |%0*b⟩: %d\n", circ.NumQubits, idx, count)
+			printed++
+			if printed >= 32 {
+				fmt.Printf("  ... (%d more outcomes)\n", len(hist)-printed)
+				break
+			}
+		}
+	}
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(dd.DOT(res.Final, circ.Name)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}
+
+func loadCircuit(qasmPath, genSpec string) (*circuit.Circuit, error) {
+	switch {
+	case qasmPath != "" && genSpec != "":
+		return nil, fmt.Errorf("use either -qasm or -gen, not both")
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := qasm.Parse(string(src), qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	case genSpec != "":
+		return gen.FromSpec(genSpec)
+	default:
+		return nil, fmt.Errorf("no circuit given (use -qasm or -gen); try -gen qft:8")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	os.Exit(1)
+}

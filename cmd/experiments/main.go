@@ -1,0 +1,163 @@
+// Command experiments regenerates the measured data behind EXPERIMENTS.md:
+// Table I (both halves) at the chosen scale, the hyper-parameter sweeps
+// (E8/E9), the paper's worked examples (E3/E7), and the Lemma 1 / fidelity
+// tracking validation (E6), as one markdown report on stdout.
+//
+// Usage:
+//
+//	experiments               # small scale (~1 min)
+//	experiments -scale medium # ~10 min
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/benchtab"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/shor"
+	"repro/internal/sim"
+	"repro/internal/supremacy"
+)
+
+func main() {
+	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
+	flag.Parse()
+
+	fmt.Printf("# Experiment report (%s scale)\n\n", *scale)
+
+	report("E3/E7 — paper figures and worked examples", paperExamples)
+	report("E1/E2 — Table I", func() error { return table1(*scale) })
+	report("E8 — memory-driven threshold sweep", thresholdSweep)
+	report("E9 — fidelity-driven round tradeoff", roundTradeoff)
+	report("E6 — fidelity tracking validation", fidelityTracking)
+	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
+}
+
+func report(title string, f func() error) {
+	fmt.Printf("## %s\n\n", title)
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", title, err)
+		fmt.Printf("FAILED: %v\n\n", err)
+		return
+	}
+	fmt.Println()
+}
+
+func paperExamples() error {
+	m := dd.New()
+	s := 1 / math.Sqrt(10)
+	fig1, err := m.FromAmplitudes([]complex128{
+		complex(s, 0), 0, 0, complex(-s, 0),
+		0, complex(2*s, 0), 0, complex(2*s, 0),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 1b DD: %d nodes (maximally shared; paper draws 6)\n", dd.CountVNodes(fig1))
+	fmt.Printf("Example 4:  amplitude(|011⟩) = %v (paper: −1/√10 = %.6f)\n",
+		m.Amplitude(fig1, 0b011, 3), -s)
+	contribs := core.Contributions(m, fig1)
+	fmt.Println("Example 7:  contributions per node:")
+	for n, c := range contribs {
+		fmt.Printf("  q%d: %.3f\n", n.Var, c)
+	}
+	approx, rep, err := core.ApproximateToFidelity(m, fig1, 0.7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Example 8:  removal with 0.3 budget → %d nodes, fidelity %.3f (paper: Fig. 1d at 0.8)\n",
+		dd.CountVNodes(approx), rep.Achieved)
+
+	psi, _ := m.FromAmplitudes([]complex128{0.5, 0.5, 0.5, 0.5})
+	s2 := complex(1/math.Sqrt2, 0)
+	phi, _ := m.FromAmplitudes([]complex128{s2, 0, 0, s2})
+	fmt.Printf("Example 5:  F = %.3f (paper: 0.5)\n", m.Fidelity(psi, phi))
+	return nil
+}
+
+func table1(scale string) error {
+	suite, err := benchtab.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	mem, err := suite.RunMemoryDriven()
+	if err != nil {
+		return err
+	}
+	fid, err := suite.RunFidelityDriven()
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatMarkdown(append(mem, fid...)))
+	return nil
+}
+
+func thresholdSweep() error {
+	cfg := supremacy.Config{Rows: 3, Cols: 4, Depth: 16, Seed: 0}
+	c, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	points, err := benchtab.SweepThreshold(c, []int{256, 512, 1024, 2048, 4096}, 0.975, 1.05)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatSweepMarkdown(points))
+	return nil
+}
+
+func roundTradeoff() error {
+	inst, err := shor.NewInstance(33, 5)
+	if err != nil {
+		return err
+	}
+	points, err := benchtab.SweepRoundFidelity(inst, []float64{0.51, 0.71, 0.8, 0.9, 0.95, 0.99}, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatSweepMarkdown(points))
+	return nil
+}
+
+func fidelityTracking() error {
+	cfg := supremacy.Config{Rows: 3, Cols: 3, Depth: 20, Seed: 1}
+	c, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	cmp, err := sim.RunAndCompare(c, sim.Options{
+		Strategy: &core.MemoryDriven{Threshold: 64, RoundFidelity: 0.97, Growth: 1.1},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rounds: %d, tracked fidelity: %.6f, true fidelity: %.6f, |error|: %.2e, bound: %.6f\n",
+		len(cmp.Approx.Rounds), cmp.Approx.EstimatedFidelity, cmp.TrueFidelity,
+		cmp.EstimateError, cmp.Approx.FidelityBound)
+	if cmp.TrueFidelity < cmp.Approx.FidelityBound-1e-6 {
+		return fmt.Errorf("bound violated")
+	}
+	return nil
+}
+
+func shorHalfFidelity() error {
+	inst, err := shor.NewInstance(33, 5)
+	if err != nil {
+		return err
+	}
+	out, err := inst.Run(shor.RunOptions{FinalFidelity: 0.5, RoundFidelity: 0.9, Shots: 128, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s at f_final=0.5: factors %d × %d, hit rate %.1f%%, max DD %d, runtime %v\n",
+		inst.Name(), out.Factors.Factor1, out.Factors.Factor2,
+		100*out.Factors.SuccessRate(), out.Sim.MaxDDSize, out.Sim.Runtime)
+	if !out.Factors.Success {
+		return fmt.Errorf("factoring failed")
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command qsup runs a quantum-supremacy circuit exactly and with the
+// memory-driven approximation, printing a Table-I-style comparison row
+// (the paper's Example 9 scenario).
+//
+// Example:
+//
+//	qsup -grid 3x4 -depth 16 -seed 0 -threshold 1024 -fround 0.975 -growth 1.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/supremacy"
+)
+
+func main() {
+	grid := flag.String("grid", "3x4", "qubit grid RxC")
+	depth := flag.Int("depth", 16, "clock cycles after the initial H layer")
+	seed := flag.Int64("seed", 0, "instance seed")
+	threshold := flag.Int("threshold", 1024, "memory-driven node threshold")
+	fround := flag.Float64("fround", 0.975, "per-round target fidelity")
+	growth := flag.Float64("growth", 1.05, "threshold growth per round (paper: 2)")
+	skipExact := flag.Bool("skip-exact", false, "skip the exact reference run")
+	flag.Parse()
+
+	dims := strings.Split(*grid, "x")
+	if len(dims) != 2 {
+		fatal(fmt.Errorf("bad -grid %q", *grid))
+	}
+	rows, err := strconv.Atoi(dims[0])
+	if err != nil {
+		fatal(err)
+	}
+	cols, err := strconv.Atoi(dims[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := supremacy.Config{Rows: rows, Cols: cols, Depth: *depth, Seed: *seed}
+	circ, err := cfg.Generate()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark: %s (%d qubits, %d gates)\n", cfg.Name(), cfg.Qubits(), circ.Len())
+
+	if !*skipExact {
+		s := sim.New()
+		res, err := s.Run(circ, sim.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact:  max DD %8d nodes   runtime %v\n", res.MaxDDSize, res.Runtime)
+	}
+
+	s := sim.New()
+	res, err := s.Run(circ, sim.Options{Strategy: &core.MemoryDriven{
+		Threshold: *threshold, RoundFidelity: *fround, Growth: *growth,
+	}})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("approx: max DD %8d nodes   runtime %v   rounds %d   f_round %g   f_final %.4f\n",
+		res.MaxDDSize, res.Runtime, len(res.Rounds), *fround, res.EstimatedFidelity)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsup:", err)
+	os.Exit(1)
+}

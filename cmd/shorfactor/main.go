@@ -1,0 +1,92 @@
+// Command shorfactor factors an integer with Shor's algorithm on the DD
+// simulator, optionally with fidelity-driven approximation (the paper's
+// Table I setup: f_final = 0.5, f_round = 0.9).
+//
+// Examples:
+//
+//	shorfactor -N 15
+//	shorfactor -N 33 -a 5 -ffinal 0.5 -fround 0.9
+//	shorfactor -N 55 -a 2 -dump       # print the circuit structure (Fig. 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/shor"
+)
+
+func main() {
+	n := flag.Uint64("N", 15, "odd composite to factor")
+	a := flag.Uint64("a", 0, "coprime base (0 = search automatically)")
+	ffinal := flag.Float64("ffinal", 0, "final fidelity bound; 0 disables approximation")
+	fround := flag.Float64("fround", 0.9, "per-round fidelity for the fidelity-driven strategy")
+	shots := flag.Int("shots", 128, "samples for the classical post-processing")
+	seed := flag.Int64("seed", 1, "random seed")
+	dump := flag.Bool("dump", false, "print the circuit block structure and exit")
+	flag.Parse()
+
+	if *dump {
+		base := *a
+		if base == 0 {
+			base = 2
+		}
+		inst, err := shor.NewInstance(*n, base)
+		if err != nil {
+			fatal(err)
+		}
+		c := inst.BuildCircuit()
+		fmt.Printf("%s\n", c.String())
+		fmt.Printf("work register:     qubits [0,%d)\n", inst.Bits)
+		fmt.Printf("counting register: qubits [%d,%d)\n", inst.Bits, inst.Qubits)
+		fmt.Printf("block boundaries (gate indices): %v\n", c.Blocks())
+		fmt.Printf("gate histogram: %v\n", c.CountByName())
+		return
+	}
+
+	opts := shor.RunOptions{
+		FinalFidelity: *ffinal,
+		RoundFidelity: *fround,
+		Shots:         *shots,
+		Seed:          *seed,
+	}
+
+	var out *shor.Outcome
+	var err error
+	if *a != 0 {
+		inst, ierr := shor.NewInstance(*n, *a)
+		if ierr != nil {
+			fatal(ierr)
+		}
+		out, err = inst.Run(opts)
+	} else {
+		out, err = shor.Factor(*n, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if out.Sim != nil {
+		fmt.Printf("instance:   %s (%d qubits)\n", out.Instance.Name(), out.Instance.Qubits)
+		fmt.Printf("max DD:     %d nodes\n", out.Sim.MaxDDSize)
+		fmt.Printf("runtime:    %v\n", out.Sim.Runtime)
+		if len(out.Sim.Rounds) > 0 {
+			fmt.Printf("rounds:     %d (fidelity %.4f, bound %.4f)\n",
+				len(out.Sim.Rounds), out.Sim.EstimatedFidelity, out.Sim.FidelityBound)
+		}
+	}
+	if out.Factors.Success {
+		fmt.Printf("factors:    %d = %d × %d\n", *n, out.Factors.Factor1, out.Factors.Factor2)
+		fmt.Printf("hit rate:   %d/%d shots produced factors (%.1f%%)\n",
+			out.Factors.FactorHits, out.Factors.Shots, 100*out.Factors.SuccessRate())
+	} else {
+		fmt.Printf("no factors found in %d shots (try another -a or more shots)\n", out.Factors.Shots)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shorfactor:", err)
+	os.Exit(1)
+}

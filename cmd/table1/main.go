@@ -1,0 +1,65 @@
+// Command table1 regenerates Table I of the paper at a chosen scale.
+//
+// Usage:
+//
+//	table1 -scale small            # laptop-scale reproduction (default)
+//	table1 -scale medium           # minutes
+//	table1 -scale paper            # the original instances; hours, 3 h timeouts
+//	table1 -part mem|fid|all       # which half of the table
+//	table1 -csv                    # CSV instead of markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchtab"
+)
+
+func main() {
+	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
+	part := flag.String("part", "all", "table half: mem, fid, or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
+	flag.Parse()
+
+	suite, err := benchtab.NewSuite(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if err := suite.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var rows []benchtab.Row
+	if *part == "mem" || *part == "all" {
+		fmt.Fprintf(os.Stderr, "running memory-driven half (%d supremacy cases)...\n", len(suite.Supremacy))
+		r, err := suite.RunMemoryDriven()
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, r...)
+	}
+	if *part == "fid" || *part == "all" {
+		fmt.Fprintf(os.Stderr, "running fidelity-driven half (%d Shor cases)...\n", len(suite.Shor))
+		r, err := suite.RunFidelityDriven()
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, r...)
+	}
+	if *part != "mem" && *part != "fid" && *part != "all" {
+		fatal(fmt.Errorf("unknown -part %q", *part))
+	}
+
+	if *csv {
+		fmt.Print(benchtab.FormatCSV(rows))
+	} else {
+		fmt.Printf("Table I (%s preset)\n\n%s", suite.Name, benchtab.FormatMarkdown(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "table1:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package repro is a Go reproduction of "As Accurate as Needed, as Efficient
+// as Possible: Approximations in DD-based Quantum Circuit Simulation"
+// (Hillmich, Kueng, Markov, Wille — DATE 2021, arXiv:2012.05615).
+//
+// It provides a complete decision-diagram quantum circuit simulator with the
+// paper's two approximation strategies:
+//
+//   - memory-driven (reactive): approximate whenever the state DD exceeds a
+//     node-count threshold, growing the threshold after each round;
+//   - fidelity-driven (proactive): plan ⌊log_fround(f_final)⌋ rounds at
+//     circuit block boundaries, guaranteeing a final-fidelity budget.
+//
+// The package re-exports the user-facing API of the internal packages; see
+// README.md for a tour, DESIGN.md for the architecture, and EXPERIMENTS.md
+// for the Table I reproduction.
+//
+// Quick start:
+//
+//	c := repro.NewCircuit(2, "bell")
+//	c.H(1)
+//	c.CX(1, 0)
+//	s := repro.NewSimulator()
+//	res, err := s.Run(c, repro.Options{})
+//	// res.Final is the state DD; sample or inspect amplitudes via s.M.
+package repro

@@ -1,0 +1,65 @@
+package benchtab
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatMarkdown renders rows in the layout of Table I as a markdown table.
+func FormatMarkdown(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("| Approach | Benchmark | Qubits | Exact Max DD | Exact Time | Approx Max DD | Rounds | f_round | Approx Time | f_final | True F | Speed-up |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		exactDD, exactT := fmt.Sprintf("%d", r.ExactMaxDD), fmtDur(r.ExactTime)
+		if r.ExactTimeout {
+			exactDD, exactT = "–", "Timeout"
+		}
+		if r.ApproxFailed != "" {
+			fmt.Fprintf(&b, "| %s | %s | %d | %s | %s | failed: %s | | | | | | |\n",
+				r.Approach, r.Name, r.Qubits, exactDD, exactT, r.ApproxFailed)
+			continue
+		}
+		trueF := "–"
+		if r.TrueFidelity >= 0 {
+			trueF = fmt.Sprintf("%.3f", r.TrueFidelity)
+		}
+		speedup := "–"
+		if s := r.SpeedUp(); s > 0 {
+			speedup = fmt.Sprintf("%.2fx", s)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %s | %s | %d | %d | %g | %s | %.3f | %s | %s |\n",
+			r.Approach, r.Name, r.Qubits, exactDD, exactT,
+			r.ApproxMaxDD, r.Rounds, r.RoundFid, fmtDur(r.ApproxTime), r.FinalFid,
+			trueF, speedup)
+	}
+	return b.String()
+}
+
+// FormatCSV renders rows as CSV with a header line.
+func FormatCSV(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("approach,benchmark,qubits,exact_max_dd,exact_seconds,exact_timeout,approx_max_dd,rounds,f_round,approx_seconds,f_final,fid_bound,true_fidelity,speedup,error\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%.6f,%t,%d,%d,%g,%.6f,%.6f,%.6f,%.6f,%.3f,%q\n",
+			r.Approach, r.Name, r.Qubits,
+			r.ExactMaxDD, r.ExactTime.Seconds(), r.ExactTimeout,
+			r.ApproxMaxDD, r.Rounds, r.RoundFid, r.ApproxTime.Seconds(),
+			r.FinalFid, r.FidBound, r.TrueFidelity, r.SpeedUp(), r.ApproxFailed)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

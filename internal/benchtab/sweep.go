@@ -1,0 +1,114 @@
+package benchtab
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/shor"
+	"repro/internal/sim"
+)
+
+// SweepPoint is one configuration of a hyper-parameter sweep (the series
+// behind the paper's hyper-parameter discussion; E8/E9 in DESIGN.md).
+type SweepPoint struct {
+	Label     string // swept value, e.g. "threshold=1024" or "fround=0.9"
+	Rounds    int
+	MaxDD     int
+	Runtime   time.Duration
+	FinalFid  float64 // tracked fidelity product
+	FidBound  float64
+	ExactMax  int           // exact reference (same for all points)
+	ExactTime time.Duration // exact reference runtime
+}
+
+// SweepThreshold runs the memory-driven strategy on one circuit across a
+// range of thresholds at fixed f_round (E8).
+func SweepThreshold(c *circuit.Circuit, thresholds []int, fround, growth float64) ([]SweepPoint, error) {
+	ref := sim.New()
+	exact, err := ref.Run(c, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, th := range thresholds {
+		s := sim.New()
+		res, err := s.Run(c, sim.Options{Strategy: &core.MemoryDriven{
+			Threshold: th, RoundFidelity: fround, Growth: growth,
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: threshold %d: %w", th, err)
+		}
+		out = append(out, SweepPoint{
+			Label:     fmt.Sprintf("threshold=%d", th),
+			Rounds:    len(res.Rounds),
+			MaxDD:     res.MaxDDSize,
+			Runtime:   res.Runtime,
+			FinalFid:  res.EstimatedFidelity,
+			FidBound:  res.FidelityBound,
+			ExactMax:  exact.MaxDDSize,
+			ExactTime: exact.Runtime,
+		})
+	}
+	return out, nil
+}
+
+// SweepRoundFidelity runs the fidelity-driven strategy on a Shor instance
+// across a range of per-round fidelities at fixed f_final (E9: few
+// aggressive rounds vs many gentle ones).
+func SweepRoundFidelity(inst *shor.Instance, frounds []float64, ffinal float64) ([]SweepPoint, error) {
+	c := inst.BuildCircuit()
+	ref := sim.New()
+	exact, err := ref.Run(c, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, fr := range frounds {
+		strat := core.NewFidelityDriven(ffinal, fr)
+		strat.Locations = inst.IQFTBoundaries(c)
+		s := sim.New()
+		res, err := s.Run(c, sim.Options{Strategy: strat})
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: fround %v: %w", fr, err)
+		}
+		out = append(out, SweepPoint{
+			Label:     fmt.Sprintf("fround=%g", fr),
+			Rounds:    len(res.Rounds),
+			MaxDD:     res.MaxDDSize,
+			Runtime:   res.Runtime,
+			FinalFid:  res.EstimatedFidelity,
+			FidBound:  res.FidelityBound,
+			ExactMax:  exact.MaxDDSize,
+			ExactTime: exact.Runtime,
+		})
+	}
+	return out, nil
+}
+
+// FormatSweepMarkdown renders sweep points as a markdown table.
+func FormatSweepMarkdown(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("| Config | Rounds | Max DD | Runtime | f_final | Bound | Exact Max DD | Exact Time |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %.3f | %.3f | %d | %s |\n",
+			p.Label, p.Rounds, p.MaxDD, fmtDur(p.Runtime), p.FinalFid, p.FidBound,
+			p.ExactMax, fmtDur(p.ExactTime))
+	}
+	return b.String()
+}
+
+// FormatSweepCSV renders sweep points as CSV.
+func FormatSweepCSV(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("config,rounds,max_dd,seconds,f_final,fid_bound,exact_max_dd,exact_seconds\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.6f,%d,%.6f\n",
+			p.Label, p.Rounds, p.MaxDD, p.Runtime.Seconds(), p.FinalFid, p.FidBound,
+			p.ExactMax, p.ExactTime.Seconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package cnum
+
+import "math"
+
+// DefaultTolerance is the grid spacing used to decide when two floating-point
+// complex values are considered the same weight. It matches the order of
+// magnitude used by production DD packages: large enough to absorb rounding
+// drift from long gate sequences, small enough not to merge distinct
+// amplitudes of the circuits under study.
+const DefaultTolerance = 1e-10
+
+type cellKey struct{ re, im int64 }
+
+// Table interns complex values. The zero value is not usable; construct with
+// NewTable. Tables are not safe for concurrent mutation.
+type Table struct {
+	tol   float64
+	cells map[cellKey]*Value
+
+	// Canonical values. Zero and One are used pervasively by the DD engine
+	// for pointer-identity fast paths.
+	Zero *Value
+	One  *Value
+
+	lookups int64
+	hits    int64
+}
+
+// NewTable returns a table with DefaultTolerance.
+func NewTable() *Table { return NewTableTol(DefaultTolerance) }
+
+// NewTableTol returns a table with the given tolerance. tol must be positive.
+func NewTableTol(tol float64) *Table {
+	if tol <= 0 {
+		panic("cnum: tolerance must be positive")
+	}
+	t := &Table{tol: tol, cells: make(map[cellKey]*Value, 1024)}
+	t.Zero = t.Lookup(0)
+	t.One = t.Lookup(1)
+	return t
+}
+
+// Tolerance returns the table tolerance.
+func (t *Table) Tolerance() float64 { return t.tol }
+
+// Size returns the number of interned values.
+func (t *Table) Size() int { return len(t.cells) }
+
+// Stats returns lookup and hit counters (for instrumentation).
+func (t *Table) Stats() (lookups, hits int64) { return t.lookups, t.hits }
+
+func (t *Table) key(re, im float64) cellKey {
+	return cellKey{int64(math.Round(re / t.tol)), int64(math.Round(im / t.tol))}
+}
+
+// Lookup interns c and returns the canonical Value pointer. Values within the
+// tolerance of an already-interned value return the existing pointer; the
+// neighbouring grid cells are also probed so values straddling a cell
+// boundary still unify.
+func (t *Table) Lookup(c complex128) *Value {
+	return t.LookupFloat(real(c), imag(c))
+}
+
+// LookupFloat is Lookup for separate real/imaginary parts.
+func (t *Table) LookupFloat(re, im float64) *Value {
+	t.lookups++
+	// Canonicalize signed zeros so -0.0 and +0.0 intern identically.
+	if re == 0 {
+		re = 0
+	}
+	if im == 0 {
+		im = 0
+	}
+	k := t.key(re, im)
+	if v, ok := t.cells[k]; ok {
+		t.hits++
+		return v
+	}
+	// Probe the 8 neighbouring cells: a value within tol of an existing one
+	// may round to an adjacent cell.
+	for dr := int64(-1); dr <= 1; dr++ {
+		for di := int64(-1); di <= 1; di++ {
+			if dr == 0 && di == 0 {
+				continue
+			}
+			if v, ok := t.cells[cellKey{k.re + dr, k.im + di}]; ok {
+				if math.Abs(v.Re-re) <= t.tol && math.Abs(v.Im-im) <= t.tol {
+					t.hits++
+					return v
+				}
+			}
+		}
+	}
+	v := &Value{Re: re, Im: im}
+	// Snap near-exact constants so canonical values keep pointer identity.
+	if math.Abs(re) <= t.tol && math.Abs(im) <= t.tol {
+		if t.Zero != nil {
+			t.hits++
+			return t.Zero
+		}
+		v.Re, v.Im = 0, 0
+	} else if math.Abs(re-1) <= t.tol && math.Abs(im) <= t.tol {
+		if t.One != nil {
+			t.hits++
+			return t.One
+		}
+		v.Re, v.Im = 1, 0
+	}
+	t.cells[k] = v
+	return v
+}
+
+// IsZero reports whether v is the canonical zero of this table.
+func (t *Table) IsZero(v *Value) bool { return v == t.Zero }
+
+// IsOne reports whether v is the canonical one of this table.
+func (t *Table) IsOne(v *Value) bool { return v == t.One }

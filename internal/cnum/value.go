@@ -1,0 +1,59 @@
+// Package cnum provides an interning table for complex edge weights used by
+// decision diagrams.
+//
+// Decision-diagram canonicity requires that numerically equal (within a
+// tolerance) complex values are represented by the same object, so that node
+// equality can be decided by pointer comparison. The design follows the
+// complex-number tables of Zulehner, Hillmich, and Wille ("How to efficiently
+// handle complex values? Implementing decision diagrams for quantum
+// computing", ICCAD 2019): values are bucketed on a tolerance grid and looked
+// up before insertion.
+package cnum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is an interned complex number. Within a single Table two Values that
+// compare equal within the table tolerance are the same pointer, so edge
+// weights can be compared by pointer identity.
+type Value struct {
+	Re, Im float64
+}
+
+// Complex returns the value as a complex128.
+func (v *Value) Complex() complex128 {
+	if v == nil {
+		return 0
+	}
+	return complex(v.Re, v.Im)
+}
+
+// Abs2 returns the squared magnitude |v|².
+func (v *Value) Abs2() float64 {
+	if v == nil {
+		return 0
+	}
+	return v.Re*v.Re + v.Im*v.Im
+}
+
+// Abs returns the magnitude |v|.
+func (v *Value) Abs() float64 { return math.Sqrt(v.Abs2()) }
+
+// String formats the value in a compact a+bi form.
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	switch {
+	case v.Im == 0:
+		return fmt.Sprintf("%g", v.Re)
+	case v.Re == 0:
+		return fmt.Sprintf("%gi", v.Im)
+	case v.Im < 0:
+		return fmt.Sprintf("%g-%gi", v.Re, -v.Im)
+	default:
+		return fmt.Sprintf("%g+%gi", v.Re, v.Im)
+	}
+}

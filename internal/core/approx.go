@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dd"
+)
+
+// Report describes one approximation round.
+type Report struct {
+	// Requested is the single-round target fidelity f_round; the achieved
+	// fidelity is guaranteed to be ≥ Requested.
+	Requested float64
+	// Achieved is the exact fidelity between the state before and after the
+	// round, F = |⟨ψ|ψ_I⟩|² = ‖P_I ψ‖², computed by inner product.
+	Achieved float64
+	// RemovedNodes is the number of nodes selected for removal.
+	RemovedNodes int
+	// RemovedMass is the sum of raw contributions of the removed nodes. It
+	// over-counts overlapping paths, so 1−Achieved ≤ RemovedMass ≤ 1−Requested.
+	RemovedMass float64
+	// SizeBefore and SizeAfter are the DD node counts around the round.
+	SizeBefore, SizeAfter int
+}
+
+// NoOp reports whether the round left the state untouched.
+func (r Report) NoOp() bool { return r.RemovedNodes == 0 }
+
+// ApproximateToFidelity removes the smallest-contribution nodes from the
+// state whose total contribution fits within the budget 1−fround, rescales
+// (Eq. (1)), and returns the approximated state together with a Report.
+//
+// The achieved fidelity is guaranteed to be at least fround: the sum of raw
+// node contributions upper-bounds the removed amplitude mass (shared paths
+// are counted once per killed node), so staying within budget keeps
+// ‖P_I ψ‖² ≥ fround.
+func ApproximateToFidelity(m *dd.Manager, e dd.VEdge, fround float64) (dd.VEdge, Report, error) {
+	if fround <= 0 || fround > 1 {
+		return e, Report{}, fmt.Errorf("core: round fidelity %v outside (0, 1]", fround)
+	}
+	budget := 1 - fround
+	sizeBefore := dd.CountVNodes(e)
+	rep := Report{Requested: fround, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
+	if m.IsVZero(e) || budget == 0 {
+		return e, rep, nil
+	}
+	contribs := Contributions(m, e)
+	kill := selectKillSet(e, contribs, budget)
+	if len(kill) == 0 {
+		return e, rep, nil
+	}
+	ne := RemoveNodes(m, e, kill)
+	if m.IsVZero(ne) {
+		return e, rep, fmt.Errorf("core: approximation removed the entire state (budget %v)", budget)
+	}
+	rep.RemovedNodes = len(kill)
+	for n := range kill {
+		rep.RemovedMass += contribs[n]
+	}
+	rep.Achieved = m.Fidelity(e, ne)
+	rep.SizeAfter = dd.CountVNodes(ne)
+	return ne, rep, nil
+}
+
+// ApproximateBelowContribution removes every node whose contribution is
+// strictly below minContrib (the absolute-threshold variant of [27]); the
+// fidelity loss is reported but not bounded a priori. Used by the ablation
+// benches.
+func ApproximateBelowContribution(m *dd.Manager, e dd.VEdge, minContrib float64) (dd.VEdge, Report, error) {
+	sizeBefore := dd.CountVNodes(e)
+	rep := Report{Requested: 0, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
+	if m.IsVZero(e) {
+		return e, rep, nil
+	}
+	contribs := Contributions(m, e)
+	kill := make(map[*dd.VNode]bool)
+	for n, c := range contribs {
+		if c < minContrib && n != e.N {
+			kill[n] = true
+			rep.RemovedMass += c
+		}
+	}
+	if len(kill) == 0 {
+		return e, rep, nil
+	}
+	ne := RemoveNodes(m, e, kill)
+	if m.IsVZero(ne) {
+		return e, rep, fmt.Errorf("core: contribution threshold %v removed the entire state", minContrib)
+	}
+	rep.RemovedNodes = len(kill)
+	rep.Achieved = m.Fidelity(e, ne)
+	rep.SizeAfter = dd.CountVNodes(ne)
+	return ne, rep, nil
+}
+
+// selectKillSet greedily picks nodes by ascending contribution while the
+// total raw contribution stays within the budget. The root is never
+// eligible. Ties break on node id for determinism.
+func selectKillSet(e dd.VEdge, contribs map[*dd.VNode]float64, budget float64) map[*dd.VNode]bool {
+	type nc struct {
+		n *dd.VNode
+		c float64
+	}
+	cands := make([]nc, 0, len(contribs))
+	for n, c := range contribs {
+		if n == e.N {
+			continue
+		}
+		cands = append(cands, nc{n, c})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].c != cands[j].c {
+			return cands[i].c < cands[j].c
+		}
+		return cands[i].n.ID() < cands[j].n.ID()
+	})
+	kill := make(map[*dd.VNode]bool)
+	total := 0.0
+	const slack = 1e-12 // tolerate float summation error at the boundary
+	for _, cand := range cands {
+		if total+cand.c > budget+slack {
+			break
+		}
+		kill[cand.n] = true
+		total += cand.c
+	}
+	return kill
+}
+
+// RemoveNodes rebuilds the state DD with every node in kill replaced by the
+// zero vector, then renormalizes to unit norm preserving the root phase.
+// This realizes the truncation |ψ_I⟩ = P_I|ψ⟩ / ‖P_I|ψ⟩‖ of Eq. (1) with I
+// the set of basis states whose paths avoid the killed nodes.
+func RemoveNodes(m *dd.Manager, e dd.VEdge, kill map[*dd.VNode]bool) dd.VEdge {
+	if m.IsVZero(e) {
+		return e
+	}
+	memo := make(map[*dd.VNode]dd.VEdge)
+	var rebuild func(n *dd.VNode) dd.VEdge
+	rebuild = func(n *dd.VNode) dd.VEdge {
+		if n.IsTerminal() {
+			return dd.VEdge{W: m.CN.One, N: m.VTerminal()}
+		}
+		if kill[n] {
+			return m.VZero()
+		}
+		if res, ok := memo[n]; ok {
+			return res
+		}
+		var children [2]dd.VEdge
+		for i := 0; i < 2; i++ {
+			child := n.E[i]
+			if child.W.Abs2() == 0 {
+				children[i] = m.VZero()
+				continue
+			}
+			sub := rebuild(child.N)
+			children[i] = m.ScaleV(sub, child.W.Complex())
+		}
+		res := m.MakeVNode(n.Var, children[0], children[1])
+		memo[n] = res
+		return res
+	}
+	root := rebuild(e.N)
+	if m.IsVZero(root) {
+		return root
+	}
+	// Re-apply the original root weight, then renormalize: the rebuild has
+	// folded the surviving mass ‖P_I ψ‖ into the root weight.
+	final := m.ScaleV(root, e.W.Complex())
+	return m.NormalizeRootWeight(final)
+}

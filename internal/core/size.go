@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dd"
+)
+
+// ApproximateToSize shrinks the state DD to at most maxNodes nodes by
+// removing nodes in ascending contribution order until the rebuilt DD fits.
+// Unlike ApproximateToFidelity it bounds memory instead of fidelity — the
+// natural dual for the memory-driven use case (Section IV-B) when staying
+// under a hard memory budget matters more than accuracy. The fidelity cost
+// is reported, not bounded.
+//
+// Because removing one node can unshare formerly shared suffixes, hitting
+// the target can require several removal passes; the pass budget keeps the
+// worst case bounded.
+func ApproximateToSize(m *dd.Manager, e dd.VEdge, maxNodes int) (dd.VEdge, Report, error) {
+	if maxNodes < 1 {
+		return e, Report{}, fmt.Errorf("core: size target %d must be positive", maxNodes)
+	}
+	sizeBefore := dd.CountVNodes(e)
+	rep := Report{Requested: 0, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
+	if sizeBefore <= maxNodes || m.IsVZero(e) {
+		return e, rep, nil
+	}
+	orig := e
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		size := dd.CountVNodes(e)
+		if size <= maxNodes {
+			break
+		}
+		contribs := Contributions(m, e)
+		type nc struct {
+			n *dd.VNode
+			c float64
+		}
+		cands := make([]nc, 0, len(contribs))
+		for n, c := range contribs {
+			if n == e.N {
+				continue
+			}
+			cands = append(cands, nc{n, c})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].c != cands[j].c {
+				return cands[i].c < cands[j].c
+			}
+			return cands[i].n.ID() < cands[j].n.ID()
+		})
+		// Remove at least the surplus; unsharing may offset some of it, so
+		// later passes finish the job.
+		need := size - maxNodes
+		kill := make(map[*dd.VNode]bool, need)
+		var mass float64
+		for _, cand := range cands {
+			if len(kill) >= need {
+				break
+			}
+			// Never remove the entire remaining mass.
+			if mass+cand.c >= 1 {
+				break
+			}
+			kill[cand.n] = true
+			mass += cand.c
+		}
+		if len(kill) == 0 {
+			break
+		}
+		ne := RemoveNodes(m, e, kill)
+		if m.IsVZero(ne) {
+			return orig, rep, fmt.Errorf("core: size target %d would remove the entire state", maxNodes)
+		}
+		e = ne
+		rep.RemovedNodes += len(kill)
+		rep.RemovedMass += mass
+	}
+	rep.SizeAfter = dd.CountVNodes(e)
+	rep.Achieved = m.Fidelity(orig, e)
+	return e, rep, nil
+}

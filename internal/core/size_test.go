@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dd"
+)
+
+func TestApproximateToSizeReachesTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 15; trial++ {
+		m := dd.New()
+		n := 6 + rng.Intn(4)
+		e := randomState(t, m, n, 1.0, rng)
+		before := dd.CountVNodes(e)
+		target := before / (2 + rng.Intn(3))
+		if target < n {
+			target = n
+		}
+		ne, rep, err := ApproximateToSize(m, e, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := dd.CountVNodes(ne)
+		// Unsharing can leave a small overshoot after the pass budget, but
+		// the bulk of the reduction must happen.
+		if after > target+target/4 {
+			t.Errorf("n=%d: size %d -> %d, target %d", n, before, after, target)
+		}
+		if rep.SizeAfter != after {
+			t.Errorf("report size %d != measured %d", rep.SizeAfter, after)
+		}
+		if f := m.Fidelity(e, ne); math.Abs(f-rep.Achieved) > 1e-9 {
+			t.Errorf("reported fidelity %v != exact %v", rep.Achieved, f)
+		}
+		if norm := m.Norm(ne); math.Abs(norm-1) > 1e-9 {
+			t.Errorf("result not normalized: %v", norm)
+		}
+	}
+}
+
+func TestApproximateToSizeNoOpWhenSmall(t *testing.T) {
+	m := dd.New()
+	e := m.BasisState(5, 3)
+	ne, rep, err := ApproximateToSize(m, e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne != e || !rep.NoOp() || rep.Achieved != 1 {
+		t.Error("small DD was modified")
+	}
+}
+
+func TestApproximateToSizeValidation(t *testing.T) {
+	m := dd.New()
+	e := m.BasisState(3, 0)
+	if _, _, err := ApproximateToSize(m, e, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestApproximateToSizeKeepsDominantMass(t *testing.T) {
+	// A state with one dominant amplitude and much small noise: shrinking
+	// hard must keep the dominant basis state.
+	m := dd.New()
+	rng := rand.New(rand.NewSource(101))
+	n := 8
+	vec := make([]complex128, 1<<uint(n))
+	for i := range vec {
+		vec[i] = complex(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01)
+	}
+	vec[137] = 1
+	var norm float64
+	for _, a := range vec {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	for i := range vec {
+		vec[i] /= complex(math.Sqrt(norm), 0)
+	}
+	e, err := m.FromAmplitudes(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, rep, err := ApproximateToSize(m, e, n+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoOp() {
+		t.Fatal("nothing removed")
+	}
+	if p := m.Probability(ne, 137, n); p < 0.9 {
+		t.Errorf("dominant amplitude lost: P = %v", p)
+	}
+}

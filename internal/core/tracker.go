@@ -1,0 +1,46 @@
+package core
+
+// FidelityTracker accumulates the fidelity accounting across approximation
+// rounds, following Section V: the end-to-end fidelity is tracked as the
+// product of the per-round fidelities. Lemma 1 makes the product exact for
+// hierarchically composed truncations (e.g. back-to-back rounds); with
+// unitaries between rounds it is the tracked estimate the paper reports, and
+// the product of the per-round *targets* is the quantity the fidelity-driven
+// strategy budgets against f_final.
+type FidelityTracker struct {
+	rounds []Round
+	// product of Report.Achieved
+	achieved float64
+	// product of Report.Requested
+	bound float64
+}
+
+// NewFidelityTracker returns a tracker at fidelity 1 (no rounds yet).
+func NewFidelityTracker() *FidelityTracker {
+	return &FidelityTracker{achieved: 1, bound: 1}
+}
+
+// Record adds one approximation round.
+func (t *FidelityTracker) Record(r Round) {
+	t.rounds = append(t.rounds, r)
+	t.achieved *= r.Report.Achieved
+	t.bound *= r.Report.Requested
+}
+
+// Achieved returns the tracked end-to-end fidelity: the product of the
+// per-round measured fidelities (Section V).
+func (t *FidelityTracker) Achieved() float64 { return t.achieved }
+
+// Bound returns the product of the per-round target fidelities, the budget
+// quantity of the fidelity-driven strategy.
+func (t *FidelityTracker) Bound() float64 { return t.bound }
+
+// Rounds returns the recorded rounds in order.
+func (t *FidelityTracker) Rounds() []Round {
+	out := make([]Round, len(t.rounds))
+	copy(out, t.rounds)
+	return out
+}
+
+// Count returns the number of rounds that actually modified the state.
+func (t *FidelityTracker) Count() int { return len(t.rounds) }

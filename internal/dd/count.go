@@ -1,0 +1,89 @@
+package dd
+
+// CountVNodes returns the number of distinct non-terminal nodes reachable
+// from e. This is the paper's "DD size" metric (Table I, "Max. DD Size").
+func CountVNodes(e VEdge) int {
+	seen := make(map[*VNode]struct{})
+	var walk func(n *VNode)
+	walk = func(n *VNode) {
+		if n == nil || n.IsTerminal() {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		walk(n.E[0].N)
+		walk(n.E[1].N)
+	}
+	walk(e.N)
+	return len(seen)
+}
+
+// CountMNodes returns the number of distinct non-terminal nodes reachable
+// from the operation edge e.
+func CountMNodes(e MEdge) int {
+	seen := make(map[*MNode]struct{})
+	var walk func(n *MNode)
+	walk = func(n *MNode) {
+		if n == nil || n.IsTerminal() {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		for i := 0; i < 4; i++ {
+			walk(n.E[i].N)
+		}
+	}
+	walk(e.N)
+	return len(seen)
+}
+
+// LevelCounts returns the number of distinct nodes per variable, indexed by
+// qubit. Useful for inspecting where a state DD is wide.
+func LevelCounts(e VEdge, n int) []int {
+	counts := make([]int, n)
+	seen := make(map[*VNode]struct{})
+	var walk func(node *VNode)
+	walk = func(node *VNode) {
+		if node == nil || node.IsTerminal() {
+			return
+		}
+		if _, ok := seen[node]; ok {
+			return
+		}
+		seen[node] = struct{}{}
+		if int(node.Var) < n {
+			counts[node.Var]++
+		}
+		walk(node.E[0].N)
+		walk(node.E[1].N)
+	}
+	walk(e.N)
+	return counts
+}
+
+// CollectVNodes returns all distinct non-terminal nodes reachable from e.
+// The traversal order is depth-first; callers needing level order should
+// sort by Var.
+func CollectVNodes(e VEdge) []*VNode {
+	var nodes []*VNode
+	seen := make(map[*VNode]struct{})
+	var walk func(n *VNode)
+	walk = func(n *VNode) {
+		if n == nil || n.IsTerminal() {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		nodes = append(nodes, n)
+		walk(n.E[0].N)
+		walk(n.E[1].N)
+	}
+	walk(e.N)
+	return nodes
+}

@@ -1,0 +1,83 @@
+package dd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the state DD in Graphviz dot format, in the style of the
+// paper's Fig. 1b: one rank per qubit, edges annotated with weights, zero
+// edges drawn as stubs.
+func DOT(e VEdge, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle fixedsize=true width=0.5];\n")
+	fmt.Fprintf(&b, "  root [shape=point];\n")
+	if e.N == nil {
+		b.WriteString("}\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  root -> n%d [label=%q];\n", e.N.ID(), e.W.String())
+	nodes := CollectVNodes(e)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID() < nodes[j].ID() })
+	fmt.Fprintf(&b, "  t [shape=box label=\"1\"];\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"q%d\"];\n", n.ID(), n.Var)
+		for c := 0; c < 2; c++ {
+			child := n.E[c]
+			style := ""
+			if c == 1 {
+				style = " style=dashed"
+			}
+			if child.W.Abs2() == 0 {
+				fmt.Fprintf(&b, "  z%d_%d [shape=point];\n", n.ID(), c)
+				fmt.Fprintf(&b, "  n%d -> z%d_%d [label=\"0\"%s];\n", n.ID(), n.ID(), c, style)
+				continue
+			}
+			if child.N.IsTerminal() {
+				fmt.Fprintf(&b, "  n%d -> t [label=%q%s];\n", n.ID(), child.W.String(), style)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=%q%s];\n", n.ID(), child.N.ID(), child.W.String(), style)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Render returns a human-readable multi-line description of the state DD:
+// one line per node, grouped by level from the root down.
+func Render(e VEdge) string {
+	var b strings.Builder
+	if e.N == nil || e.N.IsTerminal() {
+		fmt.Fprintf(&b, "terminal edge w=%s\n", e.W.String())
+		return b.String()
+	}
+	fmt.Fprintf(&b, "root --%s--> #%d\n", e.W.String(), e.N.ID())
+	nodes := CollectVNodes(e)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Var != nodes[j].Var {
+			return nodes[i].Var > nodes[j].Var
+		}
+		return nodes[i].ID() < nodes[j].ID()
+	})
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "q%d #%d: ", n.Var, n.ID())
+		for c := 0; c < 2; c++ {
+			child := n.E[c]
+			if c > 0 {
+				b.WriteString("  |  ")
+			}
+			if child.W.Abs2() == 0 {
+				fmt.Fprintf(&b, "[%d]->0", c)
+			} else if child.N.IsTerminal() {
+				fmt.Fprintf(&b, "[%d]--%s-->T", c, child.W.String())
+			} else {
+				fmt.Fprintf(&b, "[%d]--%s-->#%d", c, child.W.String(), child.N.ID())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

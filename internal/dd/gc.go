@@ -1,0 +1,85 @@
+package dd
+
+// Cleanup prunes the unique tables down to the nodes reachable from the
+// given roots and clears all compute caches. Go's garbage collector then
+// reclaims the unreferenced nodes. This plays the role of the reference
+// counting + garbage collection machinery in C++ DD packages: without it the
+// unique tables and caches would retain every node ever created.
+//
+// Live DD edges held by the caller but not passed as roots become invalid
+// for further Manager operations (their nodes may be re-created as
+// duplicates), so callers must pass every edge they intend to keep using.
+func (m *Manager) Cleanup(vRoots []VEdge, mRoots []MEdge) {
+	liveV := make(map[*VNode]struct{}, len(m.vUnique))
+	liveM := make(map[*MNode]struct{}, len(m.mUnique))
+
+	var markV func(n *VNode)
+	markV = func(n *VNode) {
+		if n == nil || n.IsTerminal() {
+			return
+		}
+		if _, ok := liveV[n]; ok {
+			return
+		}
+		liveV[n] = struct{}{}
+		markV(n.E[0].N)
+		markV(n.E[1].N)
+	}
+	var markM func(n *MNode)
+	markM = func(n *MNode) {
+		if n == nil || n.IsTerminal() {
+			return
+		}
+		if _, ok := liveM[n]; ok {
+			return
+		}
+		liveM[n] = struct{}{}
+		for i := 0; i < 4; i++ {
+			markM(n.E[i].N)
+		}
+	}
+	for _, e := range vRoots {
+		markV(e.N)
+	}
+	for _, e := range mRoots {
+		markM(e.N)
+	}
+	// The cached identity chain stays live by construction.
+	for _, e := range m.idChain {
+		markM(e.N)
+	}
+
+	newV := make(map[vKey]*VNode, len(liveV)*2)
+	for k, n := range m.vUnique {
+		if _, ok := liveV[n]; ok {
+			newV[k] = n
+		}
+	}
+	m.vUnique = newV
+
+	newM := make(map[mKey]*MNode, len(liveM)*2)
+	for k, n := range m.mUnique {
+		if _, ok := liveM[n]; ok {
+			newM[k] = n
+		}
+	}
+	m.mUnique = newM
+
+	m.ClearCaches()
+}
+
+// ClearCaches drops all compute caches (add, multiply, inner product). Safe
+// at any time; only costs recomputation.
+func (m *Manager) ClearCaches() {
+	m.addCache = make(map[addKey]VEdge, 1<<12)
+	m.maddCache = make(map[maddKey]MEdge, 1<<10)
+	m.mulCache = make(map[mulKey]VEdge, 1<<12)
+	m.mmCache = make(map[mmKey]MEdge, 1<<10)
+	m.ipCache = make(map[ipKey]complex128, 1<<10)
+}
+
+// UniqueTableSize returns the combined size of both unique tables, used by
+// callers to decide when a Cleanup is worthwhile.
+func (m *Manager) UniqueTableSize() int {
+	return len(m.vUnique) + len(m.mUnique)
+}

@@ -1,0 +1,148 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// Test gate matrices (row-major [u00 u01 u10 u11]).
+var (
+	gateI = [4]complex128{1, 0, 0, 1}
+	gateX = [4]complex128{0, 1, 1, 0}
+	gateY = [4]complex128{0, -1i, 1i, 0}
+	gateZ = [4]complex128{1, 0, 0, -1}
+	gateH = [4]complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}
+	gateS = [4]complex128{1, 0, 0, 1i}
+	gateT = [4]complex128{1, 0, 0, cmplx.Exp(1i * math.Pi / 4)}
+)
+
+func approxEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func vecApproxEq(t *testing.T, got, want []complex128, tol float64, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch %d vs %d", context, len(got), len(want))
+	}
+	for i := range got {
+		if !approxEq(got[i], want[i], tol) {
+			t.Fatalf("%s: amplitude %d mismatch: got %v want %v", context, i, got[i], want[i])
+		}
+	}
+}
+
+// vecApproxEqUpToPhase compares amplitude vectors modulo a global phase.
+func vecApproxEqUpToPhase(t *testing.T, got, want []complex128, tol float64, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch %d vs %d", context, len(got), len(want))
+	}
+	// Find reference index with the largest |want|.
+	ref, best := -1, 0.0
+	for i, w := range want {
+		if a := cmplx.Abs(w); a > best {
+			best, ref = a, i
+		}
+	}
+	if ref == -1 {
+		vecApproxEq(t, got, want, tol, context)
+		return
+	}
+	if cmplx.Abs(got[ref]) < 1e-14 {
+		t.Fatalf("%s: reference amplitude %d is zero in got", context, ref)
+	}
+	phase := want[ref] / got[ref]
+	phase /= complex(cmplx.Abs(phase), 0)
+	for i := range got {
+		if !approxEq(got[i]*phase, want[i], tol) {
+			t.Fatalf("%s: amplitude %d mismatch up to phase: got %v want %v (phase %v)",
+				context, i, got[i]*phase, want[i], phase)
+		}
+	}
+}
+
+func randomAmplitudes(n int, rng *rand.Rand) []complex128 {
+	vec := make([]complex128, 1<<uint(n))
+	var norm float64
+	for i := range vec {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		vec[i] = complex(re, im)
+		norm += re*re + im*im
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return vec
+}
+
+// randomSparseAmplitudes returns a normalized vector with roughly `fill`
+// fraction of non-zero entries, which produces DDs with interesting shapes.
+func randomSparseAmplitudes(n int, fill float64, rng *rand.Rand) []complex128 {
+	vec := make([]complex128, 1<<uint(n))
+	var norm float64
+	nonzero := 0
+	for i := range vec {
+		if rng.Float64() < fill {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			vec[i] = complex(re, im)
+			norm += re*re + im*im
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		vec[0] = 1
+		norm = 1
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return vec
+}
+
+type testGate struct {
+	u        [4]complex128
+	target   int
+	controls []Control
+}
+
+func randomGateSeq(n, count int, rng *rand.Rand) []testGate {
+	mats := [][4]complex128{gateX, gateY, gateZ, gateH, gateS, gateT}
+	gates := make([]testGate, count)
+	for i := range gates {
+		g := testGate{u: mats[rng.Intn(len(mats))], target: rng.Intn(n)}
+		// Half the gates get one or two random controls.
+		if n > 1 && rng.Intn(2) == 0 {
+			nCtl := 1 + rng.Intn(2)
+			used := map[int]bool{g.target: true}
+			for c := 0; c < nCtl && len(used) < n; c++ {
+				q := rng.Intn(n)
+				for used[q] {
+					q = rng.Intn(n)
+				}
+				used[q] = true
+				gates[i].controls = append(gates[i].controls,
+					Control{Qubit: q, Positive: rng.Intn(4) != 0})
+			}
+		}
+		gates[i].u, gates[i].target = g.u, g.target
+	}
+	return gates
+}
+
+func toDenseControls(cs []Control) []dense.ControlSpec {
+	out := make([]dense.ControlSpec, len(cs))
+	for i, c := range cs {
+		out[i] = dense.ControlSpec{Qubit: c.Qubit, Positive: c.Positive}
+	}
+	return out
+}

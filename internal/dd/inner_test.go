@@ -1,0 +1,117 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestInnerProductMatchesDense(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		va := randomSparseAmplitudes(n, 0.6, rng)
+		vb := randomSparseAmplitudes(n, 0.6, rng)
+		ea, _ := m.FromAmplitudes(va)
+		eb, _ := m.FromAmplitudes(vb)
+		da, _ := dense.FromAmplitudes(va)
+		db, _ := dense.FromAmplitudes(vb)
+		if got, want := m.InnerProduct(ea, eb), da.InnerProduct(db); !approxEq(got, want, 1e-9) {
+			t.Fatalf("inner product %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFidelitySelfIsOne(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(6)
+		e, _ := m.FromAmplitudes(randomAmplitudes(n, rng))
+		if f := m.Fidelity(e, e); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("F(ψ,ψ) = %v", f)
+		}
+	}
+}
+
+func TestFidelitySymmetric(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(5)
+		ea, _ := m.FromAmplitudes(randomAmplitudes(n, rng))
+		eb, _ := m.FromAmplitudes(randomAmplitudes(n, rng))
+		if fa, fb := m.Fidelity(ea, eb), m.Fidelity(eb, ea); math.Abs(fa-fb) > 1e-9 {
+			t.Fatalf("F not symmetric: %v vs %v", fa, fb)
+		}
+	}
+}
+
+func TestPaperExample5(t *testing.T) {
+	// |ψ⟩ = 1/2·[1 1 1 1]ᵀ, |φ⟩ = 1/√2·[1 0 0 1]ᵀ, F = 1/2.
+	m := New()
+	psi, _ := m.FromAmplitudes([]complex128{0.5, 0.5, 0.5, 0.5})
+	s := complex(1/math.Sqrt2, 0)
+	phi, _ := m.FromAmplitudes([]complex128{s, 0, 0, s})
+	if f := m.Fidelity(psi, phi); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("Example 5 fidelity = %v, want 0.5", f)
+	}
+}
+
+func TestPaperExample6(t *testing.T) {
+	// Successive truncations: F(ψ,ψ')=1/2, F(ψ',ψ'')=1/2, F(ψ,ψ'')=1/4.
+	m := New()
+	psi, _ := m.FromAmplitudes([]complex128{0.5, 0.5, 0.5, 0.5})
+	s := complex(1/math.Sqrt2, 0)
+	psi1, _ := m.FromAmplitudes([]complex128{s, 0, 0, s})
+	psi2, _ := m.FromAmplitudes([]complex128{0, 0, 0, 1})
+	if f := m.Fidelity(psi, psi1); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("F(ψ,ψ') = %v, want 0.5", f)
+	}
+	if f := m.Fidelity(psi1, psi2); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("F(ψ',ψ'') = %v, want 0.5", f)
+	}
+	if f := m.Fidelity(psi, psi2); math.Abs(f-0.25) > 1e-12 {
+		t.Errorf("F(ψ,ψ'') = %v, want 0.25", f)
+	}
+}
+
+func TestFidelityUnitaryInvariance(t *testing.T) {
+	// F(Uψ, Uφ) == F(ψ, φ): the property of Section III that lets
+	// approximations commute with the remaining circuit.
+	m := New()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		ea, _ := m.FromAmplitudes(randomAmplitudes(n, rng))
+		eb, _ := m.FromAmplitudes(randomAmplitudes(n, rng))
+		before := m.Fidelity(ea, eb)
+		for _, g := range randomGateSeq(n, 5, rng) {
+			gd := m.MakeGateDD(n, g.u, g.target, g.controls...)
+			ea = m.MulVec(gd, ea)
+			eb = m.MulVec(gd, eb)
+		}
+		after := m.Fidelity(ea, eb)
+		if math.Abs(before-after) > 1e-9 {
+			t.Fatalf("fidelity changed under unitaries: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestNormMatchesDense(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(24))
+	vec := randomSparseAmplitudes(6, 0.4, rng)
+	// Scale to break normalization.
+	for i := range vec {
+		vec[i] *= complex(1.7, -0.3)
+	}
+	e, _ := m.FromAmplitudes(vec)
+	ds, _ := dense.FromAmplitudes(vec)
+	if got, want := m.Norm(e), ds.Norm(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("norm %v, want %v", got, want)
+	}
+}

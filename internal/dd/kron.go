@@ -1,0 +1,77 @@
+package dd
+
+// Kron returns the tensor product top ⊗ bottom of two states: bottom
+// occupies the low qubits [0, k) and top is shifted up by k levels. The
+// result spans NumQubits(top) + NumQubits(bottom) qubits.
+func (m *Manager) Kron(top, bottom VEdge) VEdge {
+	if m.IsVZero(top) || m.IsVZero(bottom) {
+		return m.VZero()
+	}
+	shift := int32(NumQubits(bottom))
+	memo := make(map[*VNode]VEdge)
+	var rebuild func(n *VNode) VEdge
+	rebuild = func(n *VNode) VEdge {
+		if n.IsTerminal() {
+			return VEdge{W: m.CN.One, N: bottom.N}
+		}
+		if res, ok := memo[n]; ok {
+			return res
+		}
+		var children [2]VEdge
+		for i := 0; i < 2; i++ {
+			c := n.E[i]
+			if c.W.Abs2() == 0 {
+				children[i] = m.VZero()
+				continue
+			}
+			sub := rebuild(c.N)
+			children[i] = m.ScaleV(sub, c.W.Complex())
+		}
+		res := m.MakeVNode(n.Var+shift, children[0], children[1])
+		memo[n] = res
+		return res
+	}
+	res := rebuild(top.N)
+	return m.ScaleV(res, top.W.Complex()*bottom.W.Complex())
+}
+
+// KronMat returns the operator tensor product top ⊗ bottom, with bottom on
+// the low qubits.
+func (m *Manager) KronMat(top, bottom MEdge) MEdge {
+	if m.IsMZero(top) || m.IsMZero(bottom) {
+		return m.MZero()
+	}
+	shift := mNumQubits(bottom)
+	memo := make(map[*MNode]MEdge)
+	var rebuild func(n *MNode) MEdge
+	rebuild = func(n *MNode) MEdge {
+		if n.IsTerminal() {
+			return MEdge{W: m.CN.One, N: bottom.N}
+		}
+		if res, ok := memo[n]; ok {
+			return res
+		}
+		var children [4]MEdge
+		for i := 0; i < 4; i++ {
+			c := n.E[i]
+			if c.W.Abs2() == 0 {
+				children[i] = m.MZero()
+				continue
+			}
+			sub := rebuild(c.N)
+			children[i] = m.ScaleM(sub, c.W.Complex())
+		}
+		res := m.MakeMNode(n.Var+shift, children)
+		memo[n] = res
+		return res
+	}
+	res := rebuild(top.N)
+	return m.ScaleM(res, top.W.Complex()*bottom.W.Complex())
+}
+
+func mNumQubits(e MEdge) int32 {
+	if e.N == nil || e.N.IsTerminal() {
+		return 0
+	}
+	return e.N.Var + 1
+}

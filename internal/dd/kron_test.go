@@ -1,0 +1,152 @@
+package dd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKronMatchesDenseTensor(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 10; trial++ {
+		nt := 1 + rng.Intn(3)
+		nb := 1 + rng.Intn(3)
+		vt := randomAmplitudes(nt, rng)
+		vb := randomAmplitudes(nb, rng)
+		et, _ := m.FromAmplitudes(vt)
+		eb, _ := m.FromAmplitudes(vb)
+		res := m.Kron(et, eb)
+		got := m.ToVector(res, nt+nb)
+		for i := range got {
+			hi := i >> uint(nb)
+			lo := i & (1<<uint(nb) - 1)
+			want := vt[hi] * vb[lo]
+			if !approxEq(got[i], want, 1e-9) {
+				t.Fatalf("Kron amplitude %d: %v, want %v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestKronWithZero(t *testing.T) {
+	m := New()
+	e := m.BasisState(2, 1)
+	if got := m.Kron(e, m.VZero()); !m.IsVZero(got) {
+		t.Error("a ⊗ 0 != 0")
+	}
+	if got := m.Kron(m.VZero(), e); !m.IsVZero(got) {
+		t.Error("0 ⊗ a != 0")
+	}
+}
+
+func TestKronOfBasisStates(t *testing.T) {
+	m := New()
+	top := m.BasisState(2, 0b10)
+	bottom := m.BasisState(3, 0b011)
+	res := m.Kron(top, bottom)
+	if p := m.Probability(res, 0b10011, 5); math.Abs(p-1) > 1e-12 {
+		t.Errorf("|10⟩⊗|011⟩: P(|10011⟩) = %v", p)
+	}
+}
+
+func TestKronMatMatchesDense(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(111))
+	gTop := m.MakeGateDD(1, gateH, 0)
+	gBot := m.MakeGateDD(2, gateX, 1, PosControl(0))
+	res := m.KronMat(gTop, gBot)
+	// Compare action on random states against sequential application.
+	for trial := 0; trial < 5; trial++ {
+		vec := randomAmplitudes(3, rng)
+		e, _ := m.FromAmplitudes(vec)
+		viaKron := m.MulVec(res, e)
+
+		h3 := m.MakeGateDD(3, gateH, 2)
+		cx3 := m.MakeGateDD(3, gateX, 1, PosControl(0))
+		viaSeq := m.MulVec(cx3, m.MulVec(h3, e))
+		vecApproxEq(t, m.ToVector(viaKron, 3), m.ToVector(viaSeq, 3), 1e-9, "KronMat")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		vec := randomSparseAmplitudes(n, 0.4+rng.Float64()*0.6, rng)
+		e, _ := m.FromAmplitudes(vec)
+
+		var buf bytes.Buffer
+		if err := m.Serialize(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+		// Round trip into a fresh manager.
+		m2 := New()
+		e2, err := m2.Deserialize(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CountVNodes(e2) != CountVNodes(e) {
+			t.Fatalf("node count changed: %d -> %d", CountVNodes(e), CountVNodes(e2))
+		}
+		vecApproxEq(t, m2.ToVector(e2, n), vec, 1e-9, "serialize round trip")
+	}
+}
+
+func TestSerializeIntoSameManagerShares(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(113))
+	vec := randomAmplitudes(6, rng)
+	e, _ := m.FromAmplitudes(vec)
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m.Deserialize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.N != e.N {
+		t.Error("deserialization into the same manager did not re-share the root")
+	}
+	if f := m.Fidelity(e, e2); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fidelity after round trip %v", f)
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	m := New()
+	if _, err := m.Deserialize(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := m.Deserialize(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated valid stream.
+	e := m.BasisState(4, 5)
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-7]
+	if _, err := m.Deserialize(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestSerializeZeroAndTerminalEdges(t *testing.T) {
+	m := New()
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf, m.VZero()); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Deserialize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsVZero(e) {
+		t.Error("zero edge did not round trip")
+	}
+}

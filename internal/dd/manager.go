@@ -1,0 +1,280 @@
+package dd
+
+import (
+	"math"
+
+	"repro/internal/cnum"
+)
+
+type vKey struct {
+	v      int32
+	w0, w1 *cnum.Value
+	n0, n1 *VNode
+}
+
+type mKey struct {
+	v int32
+	w [4]*cnum.Value
+	n [4]*MNode
+}
+
+type addKey struct {
+	a, b *VNode
+	r    *cnum.Value
+}
+
+type maddKey struct {
+	a, b *MNode
+	r    *cnum.Value
+}
+
+type mulKey struct {
+	m *MNode
+	v *VNode
+}
+
+type mmKey struct {
+	a, b *MNode
+}
+
+type ipKey struct {
+	a, b *VNode
+}
+
+// Manager owns the unique tables, compute caches, and the complex-number
+// table for a family of decision diagrams. All DDs passed to Manager methods
+// must have been created by the same Manager. Managers are not safe for
+// concurrent use.
+type Manager struct {
+	CN *cnum.Table
+
+	vTerminal *VNode
+	mTerminal *MNode
+
+	vUnique map[vKey]*VNode
+	mUnique map[mKey]*MNode
+
+	addCache  map[addKey]VEdge
+	maddCache map[maddKey]MEdge
+	mulCache  map[mulKey]VEdge
+	mmCache   map[mmKey]MEdge
+	ipCache   map[ipKey]complex128
+
+	idChain []MEdge // idChain[k] = identity DD on qubits 0..k-1
+
+	nextID uint64
+
+	// Stats counters.
+	vNodesCreated uint64
+	mNodesCreated uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+}
+
+// New returns a Manager with a fresh complex table at the default tolerance.
+func New() *Manager { return NewWithTable(cnum.NewTable()) }
+
+// NewWithTable returns a Manager using the given complex table.
+func NewWithTable(cn *cnum.Table) *Manager {
+	m := &Manager{
+		CN:        cn,
+		vUnique:   make(map[vKey]*VNode, 1<<12),
+		mUnique:   make(map[mKey]*MNode, 1<<12),
+		addCache:  make(map[addKey]VEdge, 1<<12),
+		maddCache: make(map[maddKey]MEdge, 1<<10),
+		mulCache:  make(map[mulKey]VEdge, 1<<12),
+		mmCache:   make(map[mmKey]MEdge, 1<<10),
+		ipCache:   make(map[ipKey]complex128, 1<<10),
+	}
+	m.vTerminal = &VNode{id: m.newID(), Var: TerminalVar}
+	m.mTerminal = &MNode{id: m.newID(), Var: TerminalVar}
+	m.idChain = []MEdge{{W: cn.One, N: m.mTerminal}}
+	return m
+}
+
+func (m *Manager) newID() uint64 {
+	m.nextID++
+	return m.nextID
+}
+
+// VTerminal returns the vector terminal node.
+func (m *Manager) VTerminal() *VNode { return m.vTerminal }
+
+// MTerminal returns the matrix terminal node.
+func (m *Manager) MTerminal() *MNode { return m.mTerminal }
+
+// VZero returns the canonical zero vector edge.
+func (m *Manager) VZero() VEdge { return VEdge{W: m.CN.Zero, N: m.vTerminal} }
+
+// MZero returns the canonical zero matrix edge.
+func (m *Manager) MZero() MEdge { return MEdge{W: m.CN.Zero, N: m.mTerminal} }
+
+// IsVZero reports whether e is a zero vector edge.
+func (m *Manager) IsVZero(e VEdge) bool { return e.W == m.CN.Zero }
+
+// IsMZero reports whether e is a zero matrix edge.
+func (m *Manager) IsMZero(e MEdge) bool { return e.W == m.CN.Zero }
+
+// vEdge builds a canonical vector edge with weight w: zero weights collapse
+// to the canonical zero edge.
+func (m *Manager) vEdge(w complex128, n *VNode) VEdge {
+	wv := m.CN.Lookup(w)
+	if wv == m.CN.Zero {
+		return m.VZero()
+	}
+	return VEdge{W: wv, N: n}
+}
+
+// mEdge builds a canonical matrix edge with weight w.
+func (m *Manager) mEdge(w complex128, n *MNode) MEdge {
+	wv := m.CN.Lookup(w)
+	if wv == m.CN.Zero {
+		return m.MZero()
+	}
+	return MEdge{W: wv, N: n}
+}
+
+// ScaleV multiplies the weight of e by w, keeping the edge canonical.
+func (m *Manager) ScaleV(e VEdge, w complex128) VEdge {
+	if m.IsVZero(e) || w == 0 {
+		return m.VZero()
+	}
+	return m.vEdge(e.W.Complex()*w, e.N)
+}
+
+// ScaleM multiplies the weight of e by w, keeping the edge canonical.
+func (m *Manager) ScaleM(e MEdge, w complex128) MEdge {
+	if m.IsMZero(e) || w == 0 {
+		return m.MZero()
+	}
+	return m.mEdge(e.W.Complex()*w, e.N)
+}
+
+// NormalizeRootWeight rescales the root weight of a state edge to unit
+// magnitude, preserving its phase. Simulation uses this after each gate to
+// stop floating-point drift from accumulating in the global norm.
+func (m *Manager) NormalizeRootWeight(e VEdge) VEdge {
+	if m.IsVZero(e) {
+		return e
+	}
+	mag := e.W.Abs()
+	if mag == 0 {
+		return m.VZero()
+	}
+	return m.vEdge(e.W.Complex()/complex(mag, 0), e.N)
+}
+
+// Stats reports manager counters: unique table sizes, nodes ever created and
+// compute-cache hit/miss counts.
+type Stats struct {
+	VUniqueSize   int
+	MUniqueSize   int
+	VNodesCreated uint64
+	MNodesCreated uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	ComplexValues int
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		VUniqueSize:   len(m.vUnique),
+		MUniqueSize:   len(m.mUnique),
+		VNodesCreated: m.vNodesCreated,
+		MNodesCreated: m.mNodesCreated,
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+		ComplexValues: m.CN.Size(),
+	}
+}
+
+// MakeVNode creates (or reuses) a normalized vector node with variable v and
+// children e0 (bit 0) and e1 (bit 1), returning the normalized edge pointing
+// to it. The children must be canonical edges rooted at variable v-1 (or
+// terminal when v == 0).
+func (m *Manager) MakeVNode(v int32, e0, e1 VEdge) VEdge {
+	if e0.N != nil && !e0.N.IsTerminal() && e0.N.Var != v-1 {
+		panic("dd: MakeVNode child 0 level mismatch")
+	}
+	if e1.N != nil && !e1.N.IsTerminal() && e1.N.Var != v-1 {
+		panic("dd: MakeVNode child 1 level mismatch")
+	}
+	z0, z1 := m.IsVZero(e0), m.IsVZero(e1)
+	if z0 && z1 {
+		return m.VZero()
+	}
+	w0, w1 := e0.W.Complex(), e1.W.Complex()
+	norm2 := e0.W.Abs2() + e1.W.Abs2()
+	mag := math.Sqrt(norm2)
+	// Canonical phase: first non-zero child weight becomes real positive.
+	// That weight is constructed as exactly real (|w|/mag) rather than via
+	// complex division, which would leave a tiny imaginary residue.
+	var ne0, ne1 VEdge
+	var factor complex128
+	if !z0 {
+		phase := w0 / complex(e0.W.Abs(), 0)
+		factor = complex(mag, 0) * phase
+		ne0 = m.vEdge(complex(e0.W.Abs()/mag, 0), e0.N)
+		ne1 = m.vEdge(w1/factor, e1.N)
+	} else {
+		phase := w1 / complex(e1.W.Abs(), 0)
+		factor = complex(mag, 0) * phase
+		ne0 = m.VZero()
+		ne1 = m.vEdge(complex(e1.W.Abs()/mag, 0), e1.N)
+	}
+	key := vKey{v: v, w0: ne0.W, w1: ne1.W, n0: ne0.N, n1: ne1.N}
+	n, ok := m.vUnique[key]
+	if !ok {
+		n = &VNode{id: m.newID(), Var: v, E: [2]VEdge{ne0, ne1}}
+		m.vUnique[key] = n
+		m.vNodesCreated++
+	}
+	return VEdge{W: m.CN.Lookup(factor), N: n}
+}
+
+// MakeMNode creates (or reuses) a normalized matrix node with variable v and
+// row-major quadrant children e[2*r+c], returning the normalized edge.
+func (m *Manager) MakeMNode(v int32, e [4]MEdge) MEdge {
+	allZero := true
+	maxIdx := -1
+	maxMag := 0.0
+	for i := range e {
+		if !m.IsMZero(e[i]) {
+			allZero = false
+			if mag := e[i].W.Abs(); mag > maxMag {
+				maxMag = mag
+				maxIdx = i
+			}
+		}
+		if e[i].N != nil && !e[i].N.IsTerminal() && e[i].N.Var != v-1 {
+			panic("dd: MakeMNode child level mismatch")
+		}
+	}
+	if allZero {
+		return m.MZero()
+	}
+	factor := e[maxIdx].W.Complex()
+	var ne [4]MEdge
+	var key mKey
+	key.v = v
+	for i := range e {
+		if m.IsMZero(e[i]) {
+			ne[i] = m.MZero()
+		} else if i == maxIdx {
+			// Exact by construction: w/w == 1.
+			ne[i] = MEdge{W: m.CN.One, N: e[i].N}
+		} else {
+			ne[i] = m.mEdge(e[i].W.Complex()/factor, e[i].N)
+		}
+		key.w[i] = ne[i].W
+		key.n[i] = ne[i].N
+	}
+	n, ok := m.mUnique[key]
+	if !ok {
+		n = &MNode{id: m.newID(), Var: v, E: ne}
+		m.mUnique[key] = n
+		m.mNodesCreated++
+	}
+	return MEdge{W: m.CN.Lookup(factor), N: n}
+}

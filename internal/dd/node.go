@@ -1,0 +1,80 @@
+// Package dd implements edge-weighted decision diagrams for quantum states
+// (vector DDs) and quantum operations (matrix DDs), in the QMDD style used by
+// the paper's simulator substrate (Zulehner/Wille, "Advanced simulation of
+// quantum computations"; Zulehner/Hillmich/Wille, ICCAD 2019).
+//
+// Conventions:
+//
+//   - Qubit q corresponds to bit q of the basis-state index; the root node of
+//     an n-qubit DD has Var n-1 and the terminal sits below Var 0 (as in
+//     Fig. 1 of the paper, where the root is q2).
+//   - There is no level skipping: every root-to-terminal path visits every
+//     variable. This makes the per-level node-contribution identity of
+//     Definition 2 hold exactly (contributions on each level sum to 1).
+//   - Vector nodes are normalized so |w0|² + |w1|² = 1 and the first
+//     non-zero child weight is real and positive. Matrix nodes are
+//     normalized so the first largest-magnitude weight equals 1.
+//   - Edge weights are interned in a cnum.Table; node identity is pointer
+//     identity maintained through unique tables.
+package dd
+
+import "repro/internal/cnum"
+
+// TerminalVar is the Var value of the terminal node.
+const TerminalVar int32 = -1
+
+// VNode is a vector (state) DD node. Nodes must only be created through
+// Manager.MakeVNode so that they are normalized and interned.
+type VNode struct {
+	id  uint64
+	Var int32 // qubit index; TerminalVar for the terminal
+	E   [2]VEdge
+}
+
+// ID returns the node's unique creation id (stable for the Manager lifetime).
+func (n *VNode) ID() uint64 { return n.id }
+
+// IsTerminal reports whether n is the terminal node.
+func (n *VNode) IsTerminal() bool { return n.Var == TerminalVar }
+
+// VEdge is a weighted edge to a vector node. The zero edge is represented
+// canonically as {W: table.Zero, N: terminal}.
+type VEdge struct {
+	W *cnum.Value
+	N *VNode
+}
+
+// MNode is a matrix (operation) DD node. Children are indexed row-major:
+// E[2*r+c] is the quadrant for output bit r and input bit c of the node's
+// qubit. Nodes must only be created through Manager.MakeMNode.
+type MNode struct {
+	id  uint64
+	Var int32
+	E   [4]MEdge
+}
+
+// ID returns the node's unique creation id.
+func (n *MNode) ID() uint64 { return n.id }
+
+// IsTerminal reports whether n is the terminal node.
+func (n *MNode) IsTerminal() bool { return n.Var == TerminalVar }
+
+// MEdge is a weighted edge to a matrix node. The zero edge is represented
+// canonically as {W: table.Zero, N: terminal}.
+type MEdge struct {
+	W *cnum.Value
+	N *MNode
+}
+
+// Control describes a control qubit of a gate. Positive controls trigger on
+// |1⟩, negative controls on |0⟩.
+type Control struct {
+	Qubit    int
+	Positive bool
+}
+
+// PosControl is shorthand for a positive control on qubit q.
+func PosControl(q int) Control { return Control{Qubit: q, Positive: true} }
+
+// NegControl is shorthand for a negative control on qubit q.
+func NegControl(q int) Control { return Control{Qubit: q, Positive: false} }

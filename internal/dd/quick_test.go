@@ -1,0 +1,185 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// ampVector is a quick.Generator producing random (possibly sparse)
+// amplitude vectors on 1..6 qubits.
+type ampVector struct {
+	n   int
+	vec []complex128
+}
+
+func (ampVector) Generate(rng *rand.Rand, _ int) reflect.Value {
+	n := 1 + rng.Intn(6)
+	vec := make([]complex128, 1<<uint(n))
+	nonzero := 0
+	var norm float64
+	for i := range vec {
+		if rng.Float64() < 0.6 {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			vec[i] = complex(re, im)
+			norm += re*re + im*im
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		vec[rng.Intn(len(vec))] = 1
+		norm = 1
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return reflect.ValueOf(ampVector{n: n, vec: vec})
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// Property: building a DD from amplitudes and reading it back is lossless
+// (up to the interning tolerance).
+func TestQuickRoundTrip(t *testing.T) {
+	m := New()
+	f := func(av ampVector) bool {
+		e, err := m.FromAmplitudes(av.vec)
+		if err != nil {
+			return false
+		}
+		got := m.ToVector(e, av.n)
+		for i := range got {
+			if !approxEq(got[i], av.vec[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every node of every constructed DD satisfies the normalization
+// invariant |w0|² + |w1|² = 1.
+func TestQuickNormalizationInvariant(t *testing.T) {
+	m := New()
+	f := func(av ampVector) bool {
+		e, err := m.FromAmplitudes(av.vec)
+		if err != nil {
+			return false
+		}
+		for _, n := range CollectVNodes(e) {
+			if math.Abs(n.E[0].W.Abs2()+n.E[1].W.Abs2()-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is linear — amplitudes of Add(a, b) equal the sums.
+func TestQuickAddLinearity(t *testing.T) {
+	m := New()
+	f := func(a, b ampVector) bool {
+		if a.n != b.n {
+			return true // only same-size registers are addable
+		}
+		ea, err := m.FromAmplitudes(a.vec)
+		if err != nil {
+			return false
+		}
+		eb, err := m.FromAmplitudes(b.vec)
+		if err != nil {
+			return false
+		}
+		sum := m.Add(ea, eb)
+		got := m.ToVector(sum, a.n)
+		for i := range got {
+			if !approxEq(got[i], a.vec[i]+b.vec[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |⟨a|b⟩|² is symmetric, bounded by 1 (unit vectors), and exactly
+// 1 for a == b.
+func TestQuickFidelityBounds(t *testing.T) {
+	m := New()
+	f := func(a, b ampVector) bool {
+		ea, err := m.FromAmplitudes(a.vec)
+		if err != nil {
+			return false
+		}
+		if fSelf := m.Fidelity(ea, ea); math.Abs(fSelf-1) > 1e-9 {
+			return false
+		}
+		if a.n != b.n {
+			return true
+		}
+		eb, err := m.FromAmplitudes(b.vec)
+		if err != nil {
+			return false
+		}
+		fab := m.Fidelity(ea, eb)
+		fba := m.Fidelity(eb, ea)
+		return fab >= -1e-12 && fab <= 1+1e-9 && math.Abs(fab-fba) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unique tables deduplicate — building the same vector twice
+// yields pointer-identical roots.
+func TestQuickCanonicity(t *testing.T) {
+	m := New()
+	f := func(av ampVector) bool {
+		e1, err := m.FromAmplitudes(av.vec)
+		if err != nil {
+			return false
+		}
+		e2, err := m.FromAmplitudes(av.vec)
+		if err != nil {
+			return false
+		}
+		return e1.N == e2.N && e1.W == e2.W
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sampling only ever returns basis states with non-zero
+// probability.
+func TestQuickSampleSupport(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(77))
+	f := func(av ampVector) bool {
+		e, err := m.FromAmplitudes(av.vec)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			idx := m.Sample(e, av.n, rng)
+			if m.Probability(e, idx, av.n) < 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleDistribution(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(40))
+	n := 4
+	vec := randomSparseAmplitudes(n, 0.5, rng)
+	e, _ := m.FromAmplitudes(vec)
+
+	const shots = 200000
+	hist := m.SampleMany(e, n, shots, rng)
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		p := m.Probability(e, idx, n)
+		got := float64(hist[idx]) / shots
+		// 5-sigma binomial bound.
+		sigma := math.Sqrt(p*(1-p)/shots) + 1e-9
+		if math.Abs(got-p) > 5*sigma+1e-3 {
+			t.Errorf("P(|%d⟩): sampled %v, want %v (±%v)", idx, got, p, 5*sigma)
+		}
+	}
+}
+
+func TestSampleBellState(t *testing.T) {
+	m := New()
+	s := complex(1/math.Sqrt2, 0)
+	e, _ := m.FromAmplitudes([]complex128{s, 0, 0, s})
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 1000; i++ {
+		idx := m.Sample(e, 2, rng)
+		if idx != 0b00 && idx != 0b11 {
+			t.Fatalf("sampled impossible outcome |%02b⟩ from Bell state", idx)
+		}
+	}
+}
+
+func TestProbabilityOne(t *testing.T) {
+	m := New()
+	// |+⟩⊗|1⟩: qubit 0 is |1⟩ always, qubit 1 is 50/50.
+	s := complex(1/math.Sqrt2, 0)
+	e, _ := m.FromAmplitudes([]complex128{0, s, 0, s})
+	if p := m.ProbabilityOne(e, 0, 2); math.Abs(p-1) > 1e-9 {
+		t.Errorf("P(q0=1) = %v, want 1", p)
+	}
+	if p := m.ProbabilityOne(e, 1, 2); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(q1=1) = %v, want 0.5", p)
+	}
+}
+
+func TestMeasureQubitCollapse(t *testing.T) {
+	m := New()
+	s := complex(1/math.Sqrt2, 0)
+	bell, _ := m.FromAmplitudes([]complex128{s, 0, 0, s})
+	rng := rand.New(rand.NewSource(42))
+	saw := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		bit, post := m.MeasureQubit(bell, 0, 2, rng)
+		saw[bit] = true
+		// After measuring qubit 0 of a Bell pair, qubit 1 must agree.
+		want := uint64(0)
+		if bit == 1 {
+			want = 0b11
+		}
+		if p := m.Probability(post, want, 2); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("collapsed state wrong: P(|%02b⟩) = %v", want, p)
+		}
+		if norm := m.Norm(post); math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("collapsed state not normalized: %v", norm)
+		}
+	}
+	if !saw[0] || !saw[1] {
+		t.Error("50 Bell measurements produced only one outcome")
+	}
+}
+
+func TestProjectZeroProbabilityBranch(t *testing.T) {
+	m := New()
+	e := m.BasisState(2, 0b01)
+	if got := m.ProjectQubit(e, 0, 2, 0); !m.IsVZero(got) {
+		t.Error("projection onto zero-probability branch is not the zero edge")
+	}
+}
+
+func TestRenderAndDOT(t *testing.T) {
+	m := New()
+	sVal := 1 / math.Sqrt(10)
+	vec := []complex128{
+		complex(sVal, 0), 0, 0, complex(-sVal, 0),
+		0, complex(2*sVal, 0), 0, complex(2*sVal, 0),
+	}
+	e, _ := m.FromAmplitudes(vec)
+	dot := DOT(e, "fig1b")
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Error("DOT output malformed")
+	}
+	for _, want := range []string{"digraph", "q2", "q1", "q0", "->"} {
+		if !contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	r := Render(e)
+	for _, want := range []string{"root", "q2", "q0"} {
+		if !contains(r, want) {
+			t.Errorf("Render output missing %q", want)
+		}
+	}
+	// Degenerate edges must not crash.
+	_ = DOT(m.VZero(), "zero")
+	_ = Render(m.VZero())
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestCleanupKeepsRoots(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(43))
+	vec := randomAmplitudes(6, rng)
+	e, _ := m.FromAmplitudes(vec)
+	// Create garbage.
+	for i := 0; i < 20; i++ {
+		tmp, _ := m.FromAmplitudes(randomAmplitudes(6, rng))
+		_ = tmp
+	}
+	before := m.Stats().VUniqueSize
+	m.Cleanup([]VEdge{e}, nil)
+	after := m.Stats().VUniqueSize
+	if after >= before {
+		t.Errorf("cleanup did not shrink unique table: %d -> %d", before, after)
+	}
+	// The kept state must still be intact and usable.
+	vecApproxEq(t, m.ToVector(e, 6), vec, 1e-9, "state after cleanup")
+	g := m.MakeGateDD(6, gateH, 3)
+	res := m.MulVec(g, e)
+	if norm := m.Norm(res); math.Abs(norm-1) > 1e-9 {
+		t.Errorf("post-cleanup operation broken: norm %v", norm)
+	}
+}
+
+func TestCleanupPreservesIdentityChain(t *testing.T) {
+	m := New()
+	id5 := m.Identity(5)
+	m.Cleanup(nil, nil)
+	id5b := m.Identity(5)
+	if id5.N != id5b.N {
+		t.Error("identity chain invalidated by Cleanup")
+	}
+}

@@ -1,0 +1,130 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var (
+	gateX = [4]complex128{0, 1, 1, 0}
+	gateH = [4]complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}
+)
+
+func TestNewStateIsZeroKet(t *testing.T) {
+	s := NewState(3)
+	if s.Amp[0] != 1 {
+		t.Error("amp[0] != 1")
+	}
+	for i := 1; i < len(s.Amp); i++ {
+		if s.Amp[i] != 0 {
+			t.Errorf("amp[%d] != 0", i)
+		}
+	}
+}
+
+func TestApplyXFlipsQubit(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(gateX, 1)
+	if s.Amp[0b10] != 1 {
+		t.Errorf("X on qubit 1: %v", s.Amp)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(gateH, 1)
+	s.ApplyGate(gateX, 0, ControlSpec{Qubit: 1, Positive: true})
+	want := 1 / math.Sqrt2
+	if math.Abs(real(s.Amp[0])-want) > 1e-12 || math.Abs(real(s.Amp[3])-want) > 1e-12 {
+		t.Errorf("Bell state amplitudes: %v", s.Amp)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm %v", s.Norm())
+	}
+}
+
+func TestNegativeControl(t *testing.T) {
+	s := NewState(2) // |00⟩
+	s.ApplyGate(gateX, 0, ControlSpec{Qubit: 1, Positive: false})
+	if s.Amp[0b01] != 1 {
+		t.Errorf("negative control did not fire: %v", s.Amp)
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	s := NewBasisState(3, 0b011)
+	// Swap the low two qubits: perm on 2 qubits [0,2,1,3].
+	s.ApplyPermutation([]int{0, 2, 1, 3}, 2)
+	if s.Amp[0b011] != 1 {
+		// 0b11 low bits → perm[3] = 3, unchanged.
+		t.Errorf("permutation of fixed point moved: %v", s.Amp)
+	}
+	s = NewBasisState(3, 0b001)
+	s.ApplyPermutation([]int{0, 2, 1, 3}, 2)
+	if s.Amp[0b010] != 1 {
+		t.Errorf("permutation |01⟩→|10⟩ failed: %v", s.Amp)
+	}
+}
+
+func TestControlledPermutationIdentityWhenControlOff(t *testing.T) {
+	s := NewBasisState(3, 0b001)
+	s.ApplyPermutation([]int{1, 0}, 1, ControlSpec{Qubit: 2, Positive: true})
+	if s.Amp[0b001] != 1 {
+		t.Errorf("controlled permutation fired with control off: %v", s.Amp)
+	}
+	s = NewBasisState(3, 0b101)
+	s.ApplyPermutation([]int{1, 0}, 1, ControlSpec{Qubit: 2, Positive: true})
+	if s.Amp[0b100] != 1 {
+		t.Errorf("controlled permutation did not fire: %v", s.Amp)
+	}
+}
+
+func TestFidelityAndTruncate(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(gateH, 0)
+	s.ApplyGate(gateH, 1) // uniform over 4 states
+	orig := s.Clone()
+	kept := s.Truncate(map[uint64]bool{0: true, 3: true})
+	if math.Abs(kept-0.5) > 1e-12 {
+		t.Errorf("kept mass %v, want 0.5", kept)
+	}
+	if f := orig.Fidelity(s); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("fidelity after truncation %v, want 0.5 (Example 6)", f)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("truncated state not renormalized: %v", s.Norm())
+	}
+}
+
+func TestSampleMatchesProbabilities(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(gateH, 1)
+	rng := rand.New(rand.NewSource(5))
+	counts := map[uint64]int{}
+	const shots = 100000
+	for i := 0; i < shots; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for _, idx := range []uint64{0, 2} {
+		frac := float64(counts[idx]) / shots
+		if math.Abs(frac-0.5) > 0.01 {
+			t.Errorf("P(|%02b⟩) sampled %v, want 0.5", idx, frac)
+		}
+	}
+	if counts[1] != 0 || counts[3] != 0 {
+		t.Error("sampled zero-amplitude state")
+	}
+}
+
+func TestFromAmplitudesValidates(t *testing.T) {
+	if _, err := FromAmplitudes(make([]complex128, 5)); err == nil {
+		t.Error("length 5 accepted")
+	}
+	if _, err := FromAmplitudes(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Package gen generates standard quantum circuits used by the examples,
+// tests, and benchmarks: QFT, GHZ/W states, Grover search, Bernstein–Vazirani
+// and random Clifford+T circuits.
+package gen
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// AppendQFT appends the quantum Fourier transform on the given qubits to c.
+// qs lists the register's qubits from least significant (qs[0]) upward. The
+// transform maps |x⟩ → (1/√Q)·Σ_y e^{2πi·x·y/Q}|y⟩ with Q = 2^len(qs),
+// where bit j of x and y lives on qs[j]. withSwaps selects whether the
+// final bit-reversal swaps are emitted (true gives the textbook map above).
+// blockPerQubit records a block boundary after each qubit's rotation group,
+// the granularity at which Shor's fidelity-driven rounds are placed.
+func AppendQFT(c *circuit.Circuit, qs []int, withSwaps, blockPerQubit bool) {
+	k := len(qs)
+	// Process from the most significant qubit down; each H is followed by
+	// controlled phase rotations conditioned on all lower significances.
+	for i := k - 1; i >= 0; i-- {
+		c.H(qs[i])
+		for j := i - 1; j >= 0; j-- {
+			angle := math.Pi / float64(int(1)<<uint(i-j))
+			c.CP(angle, qs[j], qs[i])
+		}
+		if blockPerQubit {
+			c.EndBlock()
+		}
+	}
+	if withSwaps {
+		for i := 0; i < k/2; i++ {
+			c.SWAP(qs[i], qs[k-1-i])
+		}
+		if blockPerQubit {
+			c.EndBlock()
+		}
+	}
+}
+
+// AppendInverseQFT appends the inverse QFT on the given qubits (the adjoint
+// of AppendQFT with the same conventions).
+func AppendInverseQFT(c *circuit.Circuit, qs []int, withSwaps, blockPerQubit bool) {
+	k := len(qs)
+	if withSwaps {
+		for i := 0; i < k/2; i++ {
+			c.SWAP(qs[i], qs[k-1-i])
+		}
+		if blockPerQubit {
+			c.EndBlock()
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			angle := -math.Pi / float64(int(1)<<uint(i-j))
+			c.CP(angle, qs[j], qs[i])
+		}
+		c.H(qs[i])
+		if blockPerQubit {
+			c.EndBlock()
+		}
+	}
+}
+
+// QFT returns a standalone n-qubit QFT circuit.
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n, "qft")
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	AppendQFT(c, qs, true, false)
+	return c
+}
+
+// InverseQFT returns a standalone n-qubit inverse QFT circuit.
+func InverseQFT(n int) *circuit.Circuit {
+	c := circuit.New(n, "iqft")
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	AppendInverseQFT(c, qs, true, false)
+	return c
+}

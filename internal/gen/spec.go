@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/supremacy"
+)
+
+// FromSpec builds a circuit from a compact textual spec, used by the CLI
+// tools:
+//
+//	qft:N       iqft:N      ghz:N      w:N
+//	grover:N[:marked]       bv:N[:secret]
+//	dj:N[:mask]             qpe:T[:numerator:denominator]
+//	adder:N[:a:b]           random:N:GATES[:seed]
+//	qsup:RxC:DEPTH[:seed]
+func FromSpec(spec string) (*circuit.Circuit, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	argInt := func(i, def int) (int, error) {
+		if len(parts) <= i || parts[i] == "" {
+			return def, nil
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("gen: spec %q: bad integer %q", spec, parts[i])
+		}
+		return v, nil
+	}
+	switch name {
+	case "qft":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return QFT(n), nil
+	case "iqft":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return InverseQFT(n), nil
+	case "ghz":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return GHZ(n), nil
+	case "w":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return WState(n), nil
+	case "grover":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		marked, err := argInt(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		return Grover(n, uint64(marked), 0), nil
+	case "bv":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		secret, err := argInt(2, 0b1011)
+		if err != nil {
+			return nil, err
+		}
+		return BernsteinVazirani(n, uint64(secret)), nil
+	case "dj":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		mask, err := argInt(2, 0)
+		if err != nil {
+			return nil, err
+		}
+		return DeutschJozsa(n, mask != 0, uint64(mask)), nil
+	case "qpe":
+		t, err := argInt(1, 5)
+		if err != nil {
+			return nil, err
+		}
+		num, err := argInt(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		den, err := argInt(3, 8)
+		if err != nil {
+			return nil, err
+		}
+		if den == 0 {
+			return nil, fmt.Errorf("gen: spec %q: zero denominator", spec)
+		}
+		return PhaseEstimation(t, float64(num)/float64(den)), nil
+	case "adder":
+		n, err := argInt(1, 4)
+		if err != nil {
+			return nil, err
+		}
+		a, err := argInt(2, 3)
+		if err != nil {
+			return nil, err
+		}
+		b, err := argInt(3, 5)
+		if err != nil {
+			return nil, err
+		}
+		return RippleCarryAdder(n, uint64(a), uint64(b)), nil
+	case "random":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		gates, err := argInt(2, 100)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := argInt(3, 0)
+		if err != nil {
+			return nil, err
+		}
+		return RandomCliffordT(n, gates, int64(seed)), nil
+	case "qsup":
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("gen: spec %q: qsup needs RxC:DEPTH", spec)
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("gen: spec %q: bad grid %q", spec, parts[1])
+		}
+		rows, err := strconv.Atoi(dims[0])
+		if err != nil {
+			return nil, fmt.Errorf("gen: spec %q: bad rows", spec)
+		}
+		cols, err := strconv.Atoi(dims[1])
+		if err != nil {
+			return nil, fmt.Errorf("gen: spec %q: bad cols", spec)
+		}
+		depth, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("gen: spec %q: bad depth", spec)
+		}
+		seed, err := argInt(3, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := supremacy.Config{Rows: rows, Cols: cols, Depth: depth, Seed: int64(seed)}
+		return cfg.Generate()
+	default:
+		return nil, fmt.Errorf("gen: unknown generator %q (try qft, ghz, grover, qsup, ...)", name)
+	}
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromSpecValid(t *testing.T) {
+	cases := map[string]struct {
+		qubits int
+		name   string
+	}{
+		"qft:5":        {5, "qft"},
+		"iqft:3":       {3, "iqft"},
+		"ghz:7":        {7, "ghz"},
+		"w:4":          {4, "wstate"},
+		"grover:6:9":   {6, "grover"},
+		"bv:5:21":      {6, "bv"}, // +1 oracle qubit
+		"dj:4:5":       {5, "deutsch-jozsa"},
+		"qpe:4:1:8":    {5, "qpe"},
+		"adder:3:2:5":  {7, "adder"}, // 2n+1
+		"random:4:30":  {4, "clifford+t"},
+		"qsup:2x3:8:1": {6, "qsup_2x3_8_1"},
+	}
+	for spec, want := range cases {
+		c, err := FromSpec(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if c.NumQubits != want.qubits {
+			t.Errorf("%s: %d qubits, want %d", spec, c.NumQubits, want.qubits)
+		}
+		if !strings.HasPrefix(c.Name, want.name) {
+			t.Errorf("%s: name %q, want prefix %q", spec, c.Name, want.name)
+		}
+	}
+}
+
+func TestFromSpecDefaults(t *testing.T) {
+	for _, spec := range []string{"qft", "ghz", "grover", "bv", "dj", "qpe", "adder", "random"} {
+		if _, err := FromSpec(spec); err != nil {
+			t.Errorf("%s with defaults: %v", spec, err)
+		}
+	}
+}
+
+func TestFromSpecInvalid(t *testing.T) {
+	bad := []string{
+		"", "nope:3", "qft:x", "qsup:3:8", "qsup:axb:8", "qsup:2x2:z",
+		"qpe:4:1:0", "grover:4:bad",
+	}
+	for _, spec := range bad {
+		if _, err := FromSpec(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+)
+
+// GHZ returns the circuit preparing (|0...0⟩+|1...1⟩)/√2 on n qubits.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(n, "ghz")
+	c.H(n - 1)
+	for q := n - 1; q > 0; q-- {
+		c.CX(q, q-1)
+	}
+	return c
+}
+
+// WState returns the circuit preparing the n-qubit W state
+// (|10...0⟩ + |01...0⟩ + ... + |00...1⟩)/√n, built with the standard
+// cascade of controlled rotations.
+func WState(n int) *circuit.Circuit {
+	c := circuit.New(n, "wstate")
+	// Start with |10...0⟩ on the top qubit.
+	c.X(n - 1)
+	for k := n - 1; k > 0; k-- {
+		// Split amplitude from qubit k onto qubit k-1 with a controlled
+		// rotation, then uncopy with a CNOT.
+		theta := 2 * math.Acos(math.Sqrt(1.0/float64(k+1)))
+		c.Apply("ry", []float64{theta}, k-1, dd.PosControl(k))
+		c.CX(k-1, k)
+	}
+	return c
+}
+
+// BernsteinVazirani returns the circuit recovering the n-bit secret s with a
+// single oracle query; measuring the data qubits yields s with certainty.
+// The oracle qubit is qubit n.
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	c := circuit.New(n+1, "bv")
+	c.X(n)
+	c.H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.CX(q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// Grover returns a Grover search circuit on n qubits marking the single
+// basis state `marked`, with the given number of iterations (0 selects the
+// optimal ⌊π/4·√(2^n)⌋). The oracle and diffusion operator use
+// multi-controlled Z gates, exercising the DD engine's arbitrary control
+// sets. Block boundaries separate the iterations.
+func Grover(n int, marked uint64, iterations int) *circuit.Circuit {
+	if iterations <= 0 {
+		iterations = int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n)))))
+		if iterations < 1 {
+			iterations = 1
+		}
+	}
+	c := circuit.New(n, "grover")
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.EndBlock()
+	ctrls := make([]int, n-1)
+	for i := range ctrls {
+		ctrls[i] = i + 1
+	}
+	for it := 0; it < iterations; it++ {
+		// Oracle: flip the phase of |marked⟩. Conjugate a multi-controlled
+		// Z with X on the zero bits of the marked string.
+		for q := 0; q < n; q++ {
+			if marked>>uint(q)&1 == 0 {
+				c.X(q)
+			}
+		}
+		c.MCZ(ctrls, 0)
+		for q := 0; q < n; q++ {
+			if marked>>uint(q)&1 == 0 {
+				c.X(q)
+			}
+		}
+		// Diffusion: H⊗n · (phase flip about |0...0⟩) · H⊗n.
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		c.MCZ(ctrls, 0)
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		c.EndBlock()
+	}
+	return c
+}
+
+// RandomCliffordT returns a seeded random circuit over {H, S, T, CX} with
+// the given depth (gate count), a common stress workload for DD engines.
+func RandomCliffordT(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n, "clifford+t")
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.S(rng.Intn(n))
+		case 2:
+			c.T(rng.Intn(n))
+		default:
+			if n == 1 {
+				c.H(0)
+				continue
+			}
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}

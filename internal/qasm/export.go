@@ -1,0 +1,98 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Export renders a circuit as OpenQASM 2.0 source. Gates with more controls
+// than QASM's standard library supports are emitted via ccx/ccz where
+// possible; permutation gates and >2 controls (beyond ccx/ccz) are not
+// expressible in the plain 2.0 gate set and produce an error. Block
+// boundaries are emitted as barriers.
+func Export(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+
+	blocks := map[int]bool{}
+	for _, idx := range c.Blocks() {
+		blocks[idx] = true
+	}
+
+	for i, g := range c.Gates() {
+		line, err := exportGate(g)
+		if err != nil {
+			return "", fmt.Errorf("qasm: gate %d: %w", i, err)
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+		if blocks[i] {
+			b.WriteString("barrier q;\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func exportGate(g circuit.Gate) (string, error) {
+	if g.Kind == circuit.KindPerm {
+		return "", fmt.Errorf("permutation gates are not expressible in OpenQASM 2.0")
+	}
+	for _, ctl := range g.Controls {
+		if !ctl.Positive {
+			return "", fmt.Errorf("negative controls are not expressible in OpenQASM 2.0")
+		}
+	}
+	params := ""
+	if len(g.Params) > 0 {
+		parts := make([]string, len(g.Params))
+		for i, p := range g.Params {
+			parts[i] = fmt.Sprintf("%.17g", p)
+		}
+		params = "(" + strings.Join(parts, ",") + ")"
+	}
+	q := func(i int) string { return fmt.Sprintf("q[%d]", i) }
+
+	switch len(g.Controls) {
+	case 0:
+		name := g.Name
+		if name == "u" {
+			name = "u3"
+		}
+		return fmt.Sprintf("%s%s %s;", name, params, q(g.Target)), nil
+	case 1:
+		ctl := g.Controls[0].Qubit
+		switch g.Name {
+		case "x":
+			return fmt.Sprintf("cx %s, %s;", q(ctl), q(g.Target)), nil
+		case "y":
+			return fmt.Sprintf("cy %s, %s;", q(ctl), q(g.Target)), nil
+		case "z":
+			return fmt.Sprintf("cz %s, %s;", q(ctl), q(g.Target)), nil
+		case "h":
+			return fmt.Sprintf("ch %s, %s;", q(ctl), q(g.Target)), nil
+		case "p", "u1", "phase":
+			return fmt.Sprintf("cp%s %s, %s;", params, q(ctl), q(g.Target)), nil
+		case "rz":
+			return fmt.Sprintf("crz%s %s, %s;", params, q(ctl), q(g.Target)), nil
+		default:
+			return "", fmt.Errorf("no standard controlled form for gate %q", g.Name)
+		}
+	case 2:
+		c1, c2 := g.Controls[0].Qubit, g.Controls[1].Qubit
+		switch g.Name {
+		case "x":
+			return fmt.Sprintf("ccx %s, %s, %s;", q(c1), q(c2), q(g.Target)), nil
+		case "z":
+			return fmt.Sprintf("ccz %s, %s, %s;", q(c1), q(c2), q(g.Target)), nil
+		default:
+			return "", fmt.Errorf("no standard doubly-controlled form for gate %q", g.Name)
+		}
+	default:
+		return "", fmt.Errorf("gate %q has %d controls; OpenQASM 2.0 standard gates stop at 2", g.Name, len(g.Controls))
+	}
+}

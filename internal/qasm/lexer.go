@@ -1,0 +1,140 @@
+// Package qasm parses a practical subset of OpenQASM 2.0 into the circuit
+// IR, so externally produced benchmark circuits can be simulated.
+//
+// Supported: OPENQASM/include headers, qreg/creg declarations, the standard
+// gate set (x y z h s sdg t tdg sx id, rx ry rz p u1 u2 u3 u, cx cz cp cu1
+// ccx swap cswap), barrier (mapped to block boundaries), measure (recorded
+// but not simulated), and constant parameter expressions with pi, + - * /,
+// unary minus and parentheses.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single-character punctuation: ; , ( ) [ ] { } + - * / ->(arrow handled as two)
+	tokArrow  // ->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		switch {
+		case ch == '\n':
+			l.line++
+			l.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			l.pos++
+		case ch == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	ch := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(rune(ch)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case ch >= '0' && ch <= '9' || ch == '.':
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+			} else if c >= '0' && c <= '9' {
+				l.pos++
+			} else if c == 'e' || c == 'E' {
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case ch == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	case ch == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokArrow, text: "->", line: l.line}, nil
+	case strings.ContainsRune(";,()[]{}+-*/=<>", rune(ch)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(ch), line: l.line}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", ch)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// tokenize scans the whole source.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

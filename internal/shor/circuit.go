@@ -1,0 +1,121 @@
+package shor
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gen"
+)
+
+// Instance is one Shor benchmark "shor_N_a" in the paper's naming: factor N
+// using coprime base a.
+type Instance struct {
+	N uint64 // the number to factor
+	A uint64 // the coprime base
+	// Bits is n = ⌈log₂(N+1)⌉, the work-register width.
+	Bits int
+	// Qubits is the full register width 3n (2n counting + n work),
+	// matching the qubit counts of Table I (e.g. shor_33_5 → 18).
+	Qubits int
+}
+
+// NewInstance validates the pair (N, a) and computes register sizes.
+func NewInstance(n, a uint64) (*Instance, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("shor: N = %d too small", n)
+	}
+	if n%2 == 0 {
+		return nil, fmt.Errorf("shor: N = %d is even; factor 2 classically first", n)
+	}
+	if a < 2 || a >= n {
+		return nil, fmt.Errorf("shor: base a = %d outside [2, N)", a)
+	}
+	if g := Gcd(a, n); g != 1 {
+		return nil, fmt.Errorf("shor: gcd(a, N) = %d already factors N", g)
+	}
+	bits := BitLen(n)
+	return &Instance{N: n, A: a, Bits: bits, Qubits: 3 * bits}, nil
+}
+
+// Name returns the paper-style benchmark name, e.g. "shor_33_5".
+func (in *Instance) Name() string { return fmt.Sprintf("shor_%d_%d", in.N, in.A) }
+
+// CountingQubits returns the number of counting qubits (2n).
+func (in *Instance) CountingQubits() int { return 2 * in.Bits }
+
+// modMulPermutation builds the permutation x → (c·x) mod N on the work
+// register (identity on x ≥ N, which keeps the map a bijection).
+func (in *Instance) modMulPermutation(c uint64) []int {
+	dim := 1 << uint(in.Bits)
+	perm := make([]int, dim)
+	for x := 0; x < dim; x++ {
+		if uint64(x) < in.N {
+			perm[x] = int(ModMul(c, uint64(x), in.N))
+		} else {
+			perm[x] = x
+		}
+	}
+	return perm
+}
+
+// BuildCircuit constructs the order-finding circuit of Fig. 2:
+//
+//	qubits [0, n)        work register, initialized to |1⟩
+//	qubits [n, 3n)       counting register (qubit n+j holds bit j of y)
+//
+// H on every counting qubit, then for each j a controlled modular
+// multiplication U_{a^{2^j} mod N} (a permutation-matrix DD) controlled by
+// counting qubit j, then the inverse QFT on the counting register. Block
+// boundaries are recorded after every modular multiplication and after every
+// inverse-QFT qubit group, the candidate locations of Section IV-C.
+func (in *Instance) BuildCircuit() *circuit.Circuit {
+	n := in.Bits
+	t := 2 * n
+	c := circuit.New(in.Qubits, in.Name())
+
+	// Work register |1⟩.
+	c.X(0)
+	// Counting register into uniform superposition.
+	for j := 0; j < t; j++ {
+		c.H(n + j)
+	}
+	c.EndBlock()
+
+	// Controlled U_{a^{2^j}}: precompute c_j = a^(2^j) mod N classically.
+	cj := in.A % in.N
+	for j := 0; j < t; j++ {
+		perm := in.modMulPermutation(cj)
+		c.Permutation(perm, n, dd.PosControl(n+j))
+		c.EndBlock()
+		cj = ModMul(cj, cj, in.N)
+	}
+
+	// Inverse QFT over the counting qubits (LSB first = qubit n).
+	qs := make([]int, t)
+	for j := 0; j < t; j++ {
+		qs[j] = n + j
+	}
+	gen.AppendInverseQFT(c, qs, true, true)
+	return c
+}
+
+// ExtractCounting pulls the counting-register value y out of a sampled full
+// basis state.
+func (in *Instance) ExtractCounting(sample uint64) uint64 {
+	return sample >> uint(in.Bits) & ((1 << uint(2*in.Bits)) - 1)
+}
+
+// IQFTBoundaries returns the block boundaries of c that lie inside the
+// inverse QFT — the region where the paper places Shor's approximation
+// rounds ("we exploited the knowledge that the inverse QFT ... required by
+// far the most time"). The circuit layout records one boundary for the H
+// layer and one per modular multiplication before the IQFT begins.
+func (in *Instance) IQFTBoundaries(c *circuit.Circuit) []int {
+	blocks := c.Blocks()
+	prefix := 1 + 2*in.Bits // H block + 2n modular multiplications
+	if len(blocks) <= prefix {
+		return nil
+	}
+	return blocks[prefix:]
+}

@@ -1,0 +1,123 @@
+package shor
+
+import "math"
+
+// IsProbablePrime reports whether n is prime using deterministic
+// Miller–Rabin for 64-bit inputs (the witness set {2, 3, 5, 7, 11, 13, 17,
+// 19, 23, 29, 31, 37} is exact below 3.3·10^24). Shor's classical
+// preprocessing rejects primes before running the quantum part.
+func IsProbablePrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n-1 = d·2^s with d odd.
+	d := n - 1
+	s := 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := ModPow(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = ModMul(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// PerfectPower returns (b, k, true) if n = b^k for some k ≥ 2. Shor's
+// preprocessing handles prime powers classically (order finding cannot
+// split p^k for prime p via the gcd trick in all cases, and p is found
+// faster by root extraction).
+func PerfectPower(n uint64) (uint64, int, bool) {
+	if n < 4 {
+		return 0, 0, false
+	}
+	maxK := int(math.Log2(float64(n))) + 1
+	for k := 2; k <= maxK; k++ {
+		b := integerKthRoot(n, k)
+		if b >= 2 && powUint64(b, k) == n {
+			return b, k, true
+		}
+	}
+	return 0, 0, false
+}
+
+// integerKthRoot returns ⌊n^(1/k)⌋.
+func integerKthRoot(n uint64, k int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	// Float seed, then adjust.
+	b := uint64(math.Pow(float64(n), 1/float64(k)))
+	for b > 1 && powSaturating(b, k) > n {
+		b--
+	}
+	for powSaturating(b+1, k) <= n {
+		b++
+	}
+	return b
+}
+
+// powSaturating computes b^k, saturating at MaxUint64 on overflow.
+func powSaturating(b uint64, k int) uint64 {
+	result := uint64(1)
+	for i := 0; i < k; i++ {
+		if b != 0 && result > math.MaxUint64/b {
+			return math.MaxUint64
+		}
+		result *= b
+	}
+	return result
+}
+
+func powUint64(b uint64, k int) uint64 { return powSaturating(b, k) }
+
+// ClassifyInput categorizes n for Shor preprocessing.
+type InputClass int
+
+// Input classes returned by Classify.
+const (
+	ClassTooSmall   InputClass = iota // n < 4: nothing to factor
+	ClassEven                         // factor 2 classically
+	ClassPrime                        // no non-trivial factors
+	ClassPrimePower                   // b^k: factor by root extraction
+	ClassComposite                    // needs order finding
+)
+
+// Classify runs the classical preprocessing of Shor's algorithm.
+func Classify(n uint64) (InputClass, uint64, uint64) {
+	switch {
+	case n < 4:
+		return ClassTooSmall, 0, 0
+	case n%2 == 0:
+		return ClassEven, 2, n / 2
+	case IsProbablePrime(n):
+		return ClassPrime, 0, 0
+	default:
+		if b, k, ok := PerfectPower(n); ok {
+			return ClassPrimePower, b, powUint64(b, k-1)
+		}
+		return ClassComposite, 0, 0
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Comparison relates an approximate simulation to the exact reference on the
+// same circuit, as the paper's empirical validation does.
+type Comparison struct {
+	Exact  *Result
+	Approx *Result
+	// TrueFidelity is |⟨exact|approx⟩|², measured directly between the two
+	// final states.
+	TrueFidelity float64
+	// EstimateError is |TrueFidelity − Π round fidelities|. Lemma 1 makes
+	// the product exact for the hierarchical truncations of Section V; with
+	// unitaries between rounds the product is the paper's tracked estimate,
+	// whose deviation this field measures.
+	EstimateError float64
+	// SizeReduction is exact max DD size / approx max DD size.
+	SizeReduction float64
+	// Speedup is exact runtime / approx runtime.
+	Speedup float64
+}
+
+// RunAndCompare simulates the circuit exactly and with the provided options'
+// strategy, inside one manager, and measures the true final fidelity. Only
+// feasible where the exact simulation itself is feasible.
+func RunAndCompare(c *circuit.Circuit, opts Options) (*Comparison, error) {
+	s := New()
+	exact, err := s.Run(c, Options{InitialState: opts.InitialState})
+	if err != nil {
+		return nil, fmt.Errorf("sim: exact reference run: %w", err)
+	}
+	approx, err := s.Run(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: approximate run: %w", err)
+	}
+	f := s.M.Fidelity(exact.Final, approx.Final)
+	cmp := &Comparison{
+		Exact:         exact,
+		Approx:        approx,
+		TrueFidelity:  f,
+		EstimateError: math.Abs(f - approx.EstimatedFidelity),
+	}
+	if approx.MaxDDSize > 0 {
+		cmp.SizeReduction = float64(exact.MaxDDSize) / float64(approx.MaxDDSize)
+	}
+	if approx.Runtime > 0 {
+		cmp.Speedup = float64(exact.Runtime) / float64(approx.Runtime)
+	}
+	return cmp, nil
+}

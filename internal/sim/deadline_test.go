@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestDeadlineExceededIsTyped(t *testing.T) {
+	s := New()
+	_, err := s.Run(gen.QFT(8), Options{Deadline: time.Now().Add(-time.Second)})
+	if err == nil {
+		t.Fatal("expired deadline accepted")
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("error %v does not wrap ErrDeadlineExceeded", err)
+	}
+}
+
+func TestNoDeadlineMeansNoLimit(t *testing.T) {
+	s := New()
+	if _, err := s.Run(gen.QFT(6), Options{}); err != nil {
+		t.Fatalf("zero deadline rejected run: %v", err)
+	}
+}
+
+func TestSizeHistoryMatchesGateCount(t *testing.T) {
+	c := gen.GHZ(5)
+	s := New()
+	res, err := s.Run(c, Options{CollectSizeHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SizeHistory) != c.Len() {
+		t.Fatalf("history length %d, want %d", len(res.SizeHistory), c.Len())
+	}
+	// GHZ sizes grow monotonically by construction of the ladder.
+	for i := 1; i < len(res.SizeHistory); i++ {
+		if res.SizeHistory[i] < res.SizeHistory[i-1] {
+			t.Errorf("GHZ size history not monotone: %v", res.SizeHistory)
+			break
+		}
+	}
+	if res.MaxDDSize != res.SizeHistory[len(res.SizeHistory)-1] {
+		t.Errorf("max %d != last history entry %d", res.MaxDDSize, res.SizeHistory[len(res.SizeHistory)-1])
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// NoiseModel configures Monte-Carlo Pauli noise for trajectory simulation.
+// After every gate, each qubit the gate touched suffers X, Y or Z with
+// probability Depolarizing/3 each. A single trajectory stays a pure state —
+// exactly the regime where DD simulation (and the paper's approximation on
+// top of it) applies; averaging over trajectories emulates the depolarizing
+// channel, connecting the simulator to the noisy-hardware fidelities the
+// paper cites (~1 % for the supremacy experiments).
+type NoiseModel struct {
+	// Depolarizing is the per-qubit, per-gate error probability in [0, 1).
+	Depolarizing float64
+	// Seed makes the trajectory deterministic.
+	Seed int64
+}
+
+// RunTrajectory simulates one noisy trajectory of the circuit: the given
+// options run as usual, with random Pauli errors injected after every gate.
+// It returns the trajectory result and the number of injected errors.
+func (s *Simulator) RunTrajectory(c *circuit.Circuit, opts Options, noise NoiseModel) (*Result, int, error) {
+	if noise.Depolarizing < 0 || noise.Depolarizing >= 1 {
+		return nil, 0, fmt.Errorf("sim: depolarizing probability %v outside [0, 1)", noise.Depolarizing)
+	}
+	if noise.Depolarizing == 0 {
+		res, err := s.Run(c, opts)
+		return res, 0, err
+	}
+	rng := rand.New(rand.NewSource(noise.Seed))
+	noisy := circuit.New(c.NumQubits, c.Name+"_noisy")
+	errs := 0
+	paulis := []string{"x", "y", "z"}
+	for _, g := range c.Gates() {
+		noisy.Append(g)
+		for _, q := range gateTouches(g) {
+			if rng.Float64() < noise.Depolarizing {
+				noisy.Apply(paulis[rng.Intn(3)], nil, q)
+				errs++
+			}
+		}
+	}
+	res, err := s.Run(noisy, opts)
+	return res, errs, err
+}
+
+// TrajectoryFidelity estimates the channel fidelity at the given noise level
+// by averaging |⟨ideal|trajectory⟩|² over `trajectories` runs. The ideal
+// state is simulated exactly once in the same manager.
+func TrajectoryFidelity(c *circuit.Circuit, noise NoiseModel, trajectories int) (float64, error) {
+	if trajectories < 1 {
+		return 0, fmt.Errorf("sim: need at least one trajectory")
+	}
+	s := New()
+	ideal, err := s.Run(c, Options{})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for k := 0; k < trajectories; k++ {
+		tn := noise
+		tn.Seed = noise.Seed + int64(k)*7919
+		res, _, err := s.RunTrajectory(c, Options{}, tn)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.M.Fidelity(ideal.Final, res.Final)
+	}
+	return sum / float64(trajectories), nil
+}
+
+func gateTouches(g circuit.Gate) []int {
+	var qs []int
+	switch g.Kind {
+	case circuit.KindPerm:
+		for q := 0; q < g.PermWidth; q++ {
+			qs = append(qs, q)
+		}
+	case circuit.KindMeasure, circuit.KindReset:
+		return nil // measurement is classical readout; no gate noise
+	default:
+		qs = append(qs, g.Target)
+	}
+	for _, ctl := range g.Controls {
+		qs = append(qs, ctl.Qubit)
+	}
+	return qs
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestZeroNoiseIsExact(t *testing.T) {
+	s := New()
+	res, errs, err := s.RunTrajectory(gen.GHZ(5), Options{}, NoiseModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs != 0 {
+		t.Errorf("%d errors injected at p=0", errs)
+	}
+	if p := s.M.Probability(res.Final, 0, 5); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("GHZ P(|00000⟩) = %v", p)
+	}
+}
+
+func TestNoiseValidation(t *testing.T) {
+	s := New()
+	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{Depolarizing: 1.5}); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{Depolarizing: -0.1}); err == nil {
+		t.Error("p < 0 accepted")
+	}
+	if _, err := TrajectoryFidelity(gen.GHZ(3), NoiseModel{Depolarizing: 0.01}, 0); err == nil {
+		t.Error("zero trajectories accepted")
+	}
+}
+
+func TestNoiseInjectsErrorsDeterministically(t *testing.T) {
+	c := gen.RandomCliffordT(4, 80, 1)
+	s1 := New()
+	_, errs1, err := s1.RunTrajectory(c, Options{}, NoiseModel{Depolarizing: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs1 == 0 {
+		t.Fatal("no errors injected at p=0.05 over ~120 gate-qubit slots")
+	}
+	s2 := New()
+	_, errs2, err := s2.RunTrajectory(c, Options{}, NoiseModel{Depolarizing: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs1 != errs2 {
+		t.Errorf("same seed injected %d vs %d errors", errs1, errs2)
+	}
+}
+
+func TestTrajectoryFidelityDecreasesWithNoise(t *testing.T) {
+	c := gen.GHZ(6)
+	fLow, err := TrajectoryFidelity(c, NoiseModel{Depolarizing: 0.002, Seed: 1}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHigh, err := TrajectoryFidelity(c, NoiseModel{Depolarizing: 0.2, Seed: 1}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fLow < 0.85 {
+		t.Errorf("fidelity at p=0.002 suspiciously low: %v", fLow)
+	}
+	if fHigh >= fLow {
+		t.Errorf("fidelity did not decrease with noise: %v -> %v", fLow, fHigh)
+	}
+}
+
+func TestNoisyTrajectoryWithApproximation(t *testing.T) {
+	// Noise and approximation compose: the run must respect the fidelity
+	// bookkeeping of the approximation strategy regardless of the injected
+	// errors.
+	c := gen.RandomCliffordT(8, 150, 3)
+	s := New()
+	res, _, err := s.RunTrajectory(c, Options{
+		Strategy: &core.MemoryDriven{Threshold: 16, RoundFidelity: 0.97},
+	}, NoiseModel{Depolarizing: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedFidelity < res.FidelityBound-1e-9 {
+		t.Errorf("tracking broken under noise: %v < %v",
+			res.EstimatedFidelity, res.FidelityBound)
+	}
+}

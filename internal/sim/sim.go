@@ -1,0 +1,251 @@
+// Package sim drives DD-based quantum circuit simulation with optional
+// approximation (Section IV of the paper).
+//
+// A simulation run constructs the initial basis state, applies the circuit's
+// gates by DD matrix-vector multiplication, and consults the configured
+// approximation strategy after every gate. Instrumentation records the
+// paper's metrics: maximum DD size over the run, approximation rounds, and
+// the fidelity accounting of Lemma 1.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Strategy decides when to approximate. nil means exact simulation.
+	Strategy core.Strategy
+	// InitialState selects the starting basis state |InitialState⟩.
+	InitialState uint64
+	// CollectSizeHistory records the DD size after every gate (costs memory
+	// but no extra time; sizes are computed anyway).
+	CollectSizeHistory bool
+	// CleanupHighWater is the unique-table occupancy that triggers a
+	// reachability sweep; 0 selects a sensible default.
+	CleanupHighWater int
+	// Deadline aborts the run with ErrDeadlineExceeded once exceeded
+	// (checked between gates), mirroring the paper's 3 h timeout column.
+	// The zero value means no deadline.
+	Deadline time.Time
+	// MeasurementSeed seeds the RNG used by mid-circuit measurement and
+	// reset gates (deterministic per seed).
+	MeasurementSeed int64
+}
+
+// Measurement records one mid-circuit measurement outcome.
+type Measurement struct {
+	GateIndex int
+	Qubit     int
+	Outcome   int
+}
+
+// ErrDeadlineExceeded is returned (wrapped) when a run hits Options.Deadline.
+var ErrDeadlineExceeded = errors.New("sim: deadline exceeded")
+
+// Result reports a finished simulation.
+type Result struct {
+	// Manager owns the final state; callers use it to sample, compute
+	// amplitudes, or compare fidelities.
+	Manager *dd.Manager
+	// Final is the final state DD.
+	Final dd.VEdge
+	// NumQubits of the simulated register.
+	NumQubits int
+	// GateCount applied.
+	GateCount int
+	// MaxDDSize is the maximum node count of the state DD observed after
+	// any gate (the paper's "Max. DD Size" column).
+	MaxDDSize int
+	// FinalDDSize is the node count of the final state.
+	FinalDDSize int
+	// SizeHistory holds the per-gate DD sizes when requested.
+	SizeHistory []int
+	// Rounds lists the approximation rounds that modified the state.
+	Rounds []core.Round
+	// EstimatedFidelity is the tracked end-to-end fidelity versus the exact
+	// state: the product of the per-round measured fidelities (Section V).
+	// Lemma 1 makes the product exact for back-to-back truncations; with
+	// unitaries between rounds it is the paper's tracked estimate and
+	// empirically tight (see the sim tests, which bound the deviation).
+	EstimatedFidelity float64
+	// FidelityBound is the product of the per-round target fidelities — the
+	// quantity the fidelity-driven strategy budgets with ⌊log_fround
+	// f_final⌋ so that it stays above the requested f_final.
+	FidelityBound float64
+	// Runtime is the wall-clock simulation time.
+	Runtime time.Duration
+	// StrategyName identifies the approximation strategy used.
+	StrategyName string
+	// Cleanups counts unique-table reachability sweeps.
+	Cleanups int
+	// Measurements lists mid-circuit measurement outcomes in gate order.
+	Measurements []Measurement
+}
+
+// Simulator runs circuits on a dedicated DD manager. A simulator can run
+// several circuits in sequence; states from different runs share the manager
+// and may be compared with Fidelity.
+type Simulator struct {
+	M *dd.Manager
+}
+
+// New returns a Simulator with a fresh manager.
+func New() *Simulator { return &Simulator{M: dd.New()} }
+
+// Run simulates the circuit under the given options.
+func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
+	start := time.Now()
+	n := c.NumQubits
+	strategy := opts.Strategy
+	if strategy == nil {
+		strategy = core.Exact{}
+	}
+	if err := strategy.Init(c.Len(), c.Blocks()); err != nil {
+		return nil, err
+	}
+	highWater := opts.CleanupHighWater
+	if highWater <= 0 {
+		highWater = 1 << 17
+	}
+
+	m := s.M
+	state := m.BasisState(n, opts.InitialState)
+	tracker := core.NewFidelityTracker()
+	res := &Result{
+		Manager:      m,
+		NumQubits:    n,
+		GateCount:    c.Len(),
+		StrategyName: strategy.Name(),
+	}
+	if opts.CollectSizeHistory {
+		res.SizeHistory = make([]int, 0, c.Len())
+	}
+	res.MaxDDSize = dd.CountVNodes(state)
+
+	gateCache := make(map[string]dd.MEdge)
+
+	var measureRNG *rand.Rand // lazily created on first measurement
+
+	for i, g := range c.Gates() {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return nil, fmt.Errorf("after gate %d of %d: %w", i, c.Len(), ErrDeadlineExceeded)
+		}
+		switch g.Kind {
+		case circuit.KindMeasure, circuit.KindReset:
+			if measureRNG == nil {
+				measureRNG = rand.New(rand.NewSource(opts.MeasurementSeed))
+			}
+			bit, collapsed := m.MeasureQubit(state, g.Target, n, measureRNG)
+			res.Measurements = append(res.Measurements, Measurement{
+				GateIndex: i, Qubit: g.Target, Outcome: bit,
+			})
+			state = collapsed
+			if g.Kind == circuit.KindReset && bit == 1 {
+				x := m.MakeGateDD(n, [4]complex128{0, 1, 1, 0}, g.Target)
+				state = m.MulVec(x, state)
+			}
+			state = m.NormalizeRootWeight(state)
+		default:
+			op, err := s.gateDD(g, n, gateCache)
+			if err != nil {
+				return nil, fmt.Errorf("sim: gate %d (%s): %w", i, g.String(), err)
+			}
+			state = m.MulVec(op, state)
+			state = m.NormalizeRootWeight(state)
+		}
+		if m.IsVZero(state) {
+			return nil, fmt.Errorf("sim: state vanished after gate %d (%s)", i, g.String())
+		}
+		size := dd.CountVNodes(state)
+		if size > res.MaxDDSize {
+			res.MaxDDSize = size
+		}
+		if opts.CollectSizeHistory {
+			res.SizeHistory = append(res.SizeHistory, size)
+		}
+		newState, round, err := strategy.AfterGate(m, i, size, state)
+		if err != nil {
+			return nil, fmt.Errorf("sim: approximation after gate %d: %w", i, err)
+		}
+		if round != nil {
+			tracker.Record(*round)
+			state = newState
+		}
+		if m.UniqueTableSize() > highWater {
+			roots := []dd.VEdge{state}
+			mRoots := make([]dd.MEdge, 0, len(gateCache))
+			for _, e := range gateCache {
+				mRoots = append(mRoots, e)
+			}
+			m.Cleanup(roots, mRoots)
+			res.Cleanups++
+			if 4*m.UniqueTableSize() > highWater {
+				highWater = 4 * m.UniqueTableSize()
+			}
+		}
+	}
+
+	res.Final = state
+	res.FinalDDSize = dd.CountVNodes(state)
+	res.Rounds = tracker.Rounds()
+	res.EstimatedFidelity = tracker.Achieved()
+	res.FidelityBound = tracker.Bound()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// gateDD builds (or fetches) the operation DD for a gate.
+func (s *Simulator) gateDD(g circuit.Gate, n int, cache map[string]dd.MEdge) (dd.MEdge, error) {
+	switch g.Kind {
+	case circuit.KindUnitary:
+		sig := gateSignature(g)
+		if e, ok := cache[sig]; ok {
+			return e, nil
+		}
+		u, err := g.Matrix()
+		if err != nil {
+			return dd.MEdge{}, err
+		}
+		e := s.M.MakeGateDD(n, u, g.Target, g.Controls...)
+		cache[sig] = e
+		return e, nil
+	case circuit.KindPerm:
+		base, err := s.M.MakePermutationDD(g.Perm)
+		if err != nil {
+			return dd.MEdge{}, err
+		}
+		return s.M.ExtendMatrix(base, g.PermWidth, n, g.Controls...), nil
+	default:
+		return dd.MEdge{}, fmt.Errorf("unknown gate kind %d", g.Kind)
+	}
+}
+
+func gateSignature(g circuit.Gate) string {
+	var b strings.Builder
+	b.WriteString(g.Name)
+	for _, p := range g.Params {
+		b.WriteByte('(')
+		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	b.WriteByte('@')
+	b.WriteString(strconv.Itoa(g.Target))
+	for _, c := range g.Controls {
+		if c.Positive {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(c.Qubit))
+	}
+	return b.String()
+}

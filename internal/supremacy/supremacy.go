@@ -1,0 +1,155 @@
+// Package supremacy generates random quantum-supremacy circuits in the style
+// of Boixo et al., "Characterizing quantum supremacy in near-term devices"
+// (Nature Physics 2018) — the paper's memory-driven benchmarks
+// ("qsup_AxB_depth_seed", using conditional phase gates).
+//
+// The construction follows the published rules: qubits on an A×B grid,
+// an initial layer of Hadamards, then per clock cycle one layer of CZ gates
+// drawn from a repeating sequence of eight staggered bond patterns, with
+// single-qubit gates from {T, √X, √Y} filling qubits that just left a CZ:
+//
+//   - a qubit receives a single-qubit gate in cycle k only if it was acted
+//     on by a CZ in cycle k−1 and is not in a CZ in cycle k;
+//   - the first such gate on a qubit is always T (delaying T gates lowers
+//     circuit hardness);
+//   - subsequent gates are chosen uniformly from {√X, √Y}, never repeating
+//     the qubit's previous single-qubit gate.
+//
+// The exact eight bond patterns of the original paper are tied to their
+// specific device figure; this generator uses staggered patterns with the
+// same structure (four horizontal + four vertical phases, each bond covered
+// once per eight cycles, disjoint bonds within a layer), which preserves the
+// property the DATE'21 paper relies on: minimal redundancy, so the state DD
+// grows toward the 2^n worst case (see DESIGN.md, substitutions).
+package supremacy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Config describes one supremacy circuit instance.
+type Config struct {
+	Rows, Cols int
+	// Depth is the number of clock cycles after the initial Hadamard layer
+	// (the paper's benchmarks use depth 15 on a 4×5 grid).
+	Depth int
+	// Seed selects the instance (the paper's trailing _0/_1/_2).
+	Seed int64
+}
+
+// Name returns the paper-style benchmark name, e.g. "qsup_4x5_15_0".
+func (c Config) Name() string {
+	return fmt.Sprintf("qsup_%dx%d_%d_%d", c.Rows, c.Cols, c.Depth, c.Seed)
+}
+
+// Qubits returns the number of qubits (grid size).
+func (c Config) Qubits() int { return c.Rows * c.Cols }
+
+type bond struct{ a, b int } // qubit indices, a < b
+
+// bondPatterns returns the eight CZ layers: four staggered horizontal
+// phases interleaved with four staggered vertical phases. Within a layer
+// all bonds are disjoint; over the eight layers every grid bond appears
+// exactly once.
+func bondPatterns(rows, cols int) [8][]bond {
+	var patterns [8][]bond
+	idx := func(r, c int) int { return r*cols + c }
+	// Horizontal bonds (r,c)-(r,c+1) in phase (c + 2*(r%2)) mod 4.
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			phase := (c + 2*(r%2)) % 4
+			patterns[2*phase] = append(patterns[2*phase], bond{idx(r, c), idx(r, c+1)})
+		}
+	}
+	// Vertical bonds (r,c)-(r+1,c) in phase (r + 2*(c%2)) mod 4.
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			phase := (r + 2*(c%2)) % 4
+			patterns[2*phase+1] = append(patterns[2*phase+1], bond{idx(r, c), idx(r+1, c)})
+		}
+	}
+	return patterns
+}
+
+// Generate builds the circuit. Deterministic per Config (including Seed).
+// A block boundary is recorded after every clock cycle.
+func (c Config) Generate() (*circuit.Circuit, error) {
+	if c.Rows < 1 || c.Cols < 1 {
+		return nil, fmt.Errorf("supremacy: grid %dx%d invalid", c.Rows, c.Cols)
+	}
+	if c.Rows*c.Cols < 2 {
+		return nil, fmt.Errorf("supremacy: grid needs at least 2 qubits")
+	}
+	if c.Depth < 1 {
+		return nil, fmt.Errorf("supremacy: depth %d must be positive", c.Depth)
+	}
+	n := c.Qubits()
+	rng := rand.New(rand.NewSource(c.Seed))
+	circ := circuit.New(n, c.Name())
+
+	// Cycle 0: Hadamard on every qubit.
+	for q := 0; q < n; q++ {
+		circ.H(q)
+	}
+	circ.EndBlock()
+
+	patterns := bondPatterns(c.Rows, c.Cols)
+
+	const (
+		gNone = iota
+		gT
+		gSX
+		gSY
+	)
+	lastGate := make([]int, n)  // last single-qubit gate per qubit (gNone after H)
+	hadT := make([]bool, n)     // whether the qubit already received its T
+	inCZPrev := make([]bool, n) // CZ participation in the previous cycle
+
+	for cycle := 0; cycle < c.Depth; cycle++ {
+		layer := patterns[cycle%8]
+		inCZNow := make([]bool, n)
+		for _, b := range layer {
+			inCZNow[b.a], inCZNow[b.b] = true, true
+		}
+		// Single-qubit gates go on qubits that just left a CZ.
+		for q := 0; q < n; q++ {
+			if inCZNow[q] || !inCZPrev[q] {
+				continue
+			}
+			switch {
+			case !hadT[q]:
+				circ.T(q)
+				hadT[q] = true
+				lastGate[q] = gT
+			default:
+				choice := gSX
+				if rng.Intn(2) == 0 {
+					choice = gSY
+				}
+				if choice == lastGate[q] { // never repeat the previous gate
+					if choice == gSX {
+						choice = gSY
+					} else {
+						choice = gSX
+					}
+				}
+				if choice == gSX {
+					circ.SX(q)
+				} else {
+					circ.SY(q)
+				}
+				lastGate[q] = choice
+			}
+		}
+		// The CZ layer (the paper's conditional phase gates).
+		for _, b := range layer {
+			circ.CZ(b.a, b.b)
+		}
+		circ.EndBlock()
+		inCZPrev = inCZNow
+	}
+	return circ, nil
+}

@@ -1,0 +1,104 @@
+package xeb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/supremacy"
+)
+
+// supremacyState runs a 3x3 depth-48 supremacy circuit (deep enough to be
+// Porter–Thomas distributed) and returns the
+// simulator (for its manager) and result.
+func supremacyState(t testing.TB, strategy core.Strategy) (*sim.Simulator, *sim.Result) {
+	cfg := supremacy.Config{Rows: 3, Cols: 3, Depth: 48, Seed: 3}
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	res, err := s.Run(c, sim.Options{Strategy: strategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+func TestXEBIdealSamplesScoreNearOne(t *testing.T) {
+	s, res := supremacyState(t, nil)
+	rng := rand.New(rand.NewSource(1))
+	score, err := Score(s.M, res.Final, res.Final, 9, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Porter–Thomas statistics: variance of the estimator at 4000 shots is
+	// a few percent.
+	if math.Abs(score-1) > 0.15 {
+		t.Errorf("ideal-vs-ideal XEB = %v, want ≈ 1", score)
+	}
+}
+
+func TestXEBUniformBaselineNearZero(t *testing.T) {
+	s, res := supremacyState(t, nil)
+	rng := rand.New(rand.NewSource(2))
+	score, err := UniformBaseline(s.M, res.Final, 9, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(score) > 0.15 {
+		t.Errorf("uniform XEB = %v, want ≈ 0", score)
+	}
+}
+
+func TestXEBTracksApproximationFidelity(t *testing.T) {
+	// Samples from an approximated state score ≈ the tracked fidelity
+	// against the exact state — the sample-based validation of the paper's
+	// fidelity accounting.
+	s, exact := supremacyState(t, nil)
+	strat := &core.MemoryDriven{Threshold: 64, RoundFidelity: 0.95, Growth: 1.2}
+	cfg := supremacy.Config{Rows: 3, Cols: 3, Depth: 48, Seed: 3}
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := s.Run(c, sim.Options{Strategy: strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Rounds) == 0 {
+		t.Fatal("approximation did not trigger")
+	}
+	trueFid := s.M.Fidelity(exact.Final, approx.Final)
+	rng := rand.New(rand.NewSource(3))
+	score, err := Score(s.M, exact.Final, approx.Final, 9, 6000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XEB ≈ fidelity only in the chaotic regime; allow generous slack but
+	// require the right order of magnitude and ordering.
+	if score > 1.2 || score < trueFid-0.35 {
+		t.Errorf("approx XEB = %v vs true fidelity %v — not tracking", score, trueFid)
+	}
+	// And it must clearly separate from the uniform baseline when fidelity
+	// is substantial.
+	if trueFid > 0.5 && score < 0.2 {
+		t.Errorf("XEB %v too close to uniform for fidelity %v", score, trueFid)
+	}
+}
+
+func TestXEBValidation(t *testing.T) {
+	s, res := supremacyState(t, nil)
+	if _, err := Linear(s.M, res.Final, 9, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Score(s.M, res.Final, res.Final, 9, 0, rng); err == nil {
+		t.Error("zero shots accepted")
+	}
+	if _, err := UniformBaseline(s.M, res.Final, 9, -1, rng); err == nil {
+		t.Error("negative shots accepted")
+	}
+}
