@@ -1,0 +1,43 @@
+# Local dev and CI invoke the same targets (.github/workflows/ci.yml runs
+# `make fmt-check vet build race`), so a green `make ci` locally means a
+# green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector (the CI gate)
+race:
+	$(GO) test -race ./...
+
+## bench: one-iteration benchmark smoke pass (checks the harness, not perf)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## fmt: rewrite all Go sources with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file needs gofmt (the CI gate)
+fmt-check:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## ci: everything the pipeline runs, in order
+ci: fmt-check vet build race

@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 
+	"repro/internal/batch"
 	"repro/internal/benchtab"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -71,9 +73,41 @@ type (
 	Table1Suite = benchtab.Suite
 	// Table1Row is one Table I line.
 	Table1Row = benchtab.Row
+	// Table1RunOptions configures suite execution (worker count, seeds,
+	// progress); accepted by Table1Suite.RunMemoryDrivenBatch and
+	// RunFidelityDrivenBatch.
+	Table1RunOptions = benchtab.RunOptions
+	// SweepOptions configures the hyper-parameter sweep drivers.
+	SweepOptions = benchtab.SweepOptions
 	// QASMProgram is a parsed OpenQASM 2.0 program.
 	QASMProgram = qasm.Program
 )
+
+// Batch simulation (the worker-pool engine of internal/batch).
+type (
+	// BatchJob is one independent simulation in a batch.
+	BatchJob = batch.Job
+	// BatchJobResult is the outcome of one batch job.
+	BatchJobResult = batch.JobResult
+	// BatchOptions configures a batch run (worker count, base seed,
+	// per-job timeout, progress callback).
+	BatchOptions = batch.Options
+	// BatchResult aggregates a finished batch.
+	BatchResult = batch.Result
+)
+
+// BatchRun fans independent simulation jobs out across a worker pool, one
+// DD manager per worker, with deterministic per-job seeding derived from
+// BatchOptions.BaseSeed, context-based cancellation, and per-job deadlines.
+// Results are ordered by job index and are identical for any worker count
+// (timing fields aside).
+func BatchRun(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchResult, error) {
+	return batch.Run(ctx, jobs, opts)
+}
+
+// BatchSeed returns the measurement seed the batch engine derives for the
+// job at the given index from a base seed.
+func BatchSeed(base int64, index int) int64 { return batch.Seed(base, index) }
 
 // NewCircuit returns an empty circuit on n qubits.
 func NewCircuit(n int, name string) *Circuit { return circuit.New(n, name) }

@@ -4,6 +4,7 @@ package repro_test
 // examples present it.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -170,5 +171,40 @@ func TestFacadeGenerators(t *testing.T) {
 		if _, err := s.Run(c, repro.Options{}); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+func TestFacadeBatchRun(t *testing.T) {
+	jobs := make([]repro.BatchJob, 6)
+	for i := range jobs {
+		jobs[i] = repro.BatchJob{
+			Name:    "rct" + string(rune('0'+i)),
+			Circuit: repro.RandomCliffordTCircuit(7, 100, int64(i)),
+			NewStrategy: func() repro.Strategy {
+				return &repro.MemoryDriven{Threshold: 16, RoundFidelity: 0.97}
+			},
+		}
+	}
+	res, err := repro.BatchRun(context.Background(), jobs, repro.BatchOptions{Workers: 3, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", res.Completed, len(jobs))
+	}
+	for i, jr := range res.Jobs {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.Seed != repro.BatchSeed(5, i) {
+			t.Errorf("job %d seed %d, want %d", i, jr.Seed, repro.BatchSeed(5, i))
+		}
+		if jr.Result.FidelityBound > jr.Result.EstimatedFidelity+1e-9 {
+			t.Errorf("job %d: bound %v above tracked fidelity %v",
+				i, jr.Result.FidelityBound, jr.Result.EstimatedFidelity)
+		}
+	}
+	if res.CPUTime <= 0 || res.WallTime <= 0 {
+		t.Errorf("missing time accounting: cpu=%v wall=%v", res.CPUTime, res.WallTime)
 	}
 }

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	experiments               # small scale (~1 min)
-//	experiments -scale medium # ~10 min
+//	experiments                # small scale (~1 min)
+//	experiments -scale medium  # ~10 min
+//	experiments -parallel 0    # fan simulations out across all CPUs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -25,14 +27,16 @@ import (
 
 func main() {
 	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
+	parallel := flag.Int("parallel", 1, "simulation workers for Table I and the sweeps (0 = one per CPU)")
 	flag.Parse()
+	workers := benchtab.Workers(*parallel)
 
 	fmt.Printf("# Experiment report (%s scale)\n\n", *scale)
 
 	report("E3/E7 — paper figures and worked examples", paperExamples)
-	report("E1/E2 — Table I", func() error { return table1(*scale) })
-	report("E8 — memory-driven threshold sweep", thresholdSweep)
-	report("E9 — fidelity-driven round tradeoff", roundTradeoff)
+	report("E1/E2 — Table I", func() error { return table1(*scale, workers) })
+	report("E8 — memory-driven threshold sweep", func() error { return thresholdSweep(workers) })
+	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(workers) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
 }
@@ -79,16 +83,18 @@ func paperExamples() error {
 	return nil
 }
 
-func table1(scale string) error {
+func table1(scale string, workers int) error {
 	suite, err := benchtab.NewSuite(scale)
 	if err != nil {
 		return err
 	}
-	mem, err := suite.RunMemoryDriven()
+	ctx := context.Background()
+	opts := benchtab.RunOptions{Parallel: workers}
+	mem, err := suite.RunMemoryDrivenBatch(ctx, opts)
 	if err != nil {
 		return err
 	}
-	fid, err := suite.RunFidelityDriven()
+	fid, err := suite.RunFidelityDrivenBatch(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -96,13 +102,15 @@ func table1(scale string) error {
 	return nil
 }
 
-func thresholdSweep() error {
+func thresholdSweep(workers int) error {
 	cfg := supremacy.Config{Rows: 3, Cols: 4, Depth: 16, Seed: 0}
 	c, err := cfg.Generate()
 	if err != nil {
 		return err
 	}
-	points, err := benchtab.SweepThreshold(c, []int{256, 512, 1024, 2048, 4096}, 0.975, 1.05)
+	points, err := benchtab.SweepThresholdBatch(context.Background(), c,
+		[]int{256, 512, 1024, 2048, 4096}, 0.975, 1.05,
+		benchtab.SweepOptions{Parallel: workers})
 	if err != nil {
 		return err
 	}
@@ -110,12 +118,14 @@ func thresholdSweep() error {
 	return nil
 }
 
-func roundTradeoff() error {
+func roundTradeoff(workers int) error {
 	inst, err := shor.NewInstance(33, 5)
 	if err != nil {
 		return err
 	}
-	points, err := benchtab.SweepRoundFidelity(inst, []float64{0.51, 0.71, 0.8, 0.9, 0.95, 0.99}, 0.5)
+	points, err := benchtab.SweepRoundFidelityBatch(context.Background(), inst,
+		[]float64{0.51, 0.71, 0.8, 0.9, 0.95, 0.99}, 0.5,
+		benchtab.SweepOptions{Parallel: workers})
 	if err != nil {
 		return err
 	}

@@ -6,10 +6,16 @@
 //	table1 -scale medium           # minutes
 //	table1 -scale paper            # the original instances; hours, 3 h timeouts
 //	table1 -part mem|fid|all       # which half of the table
+//	table1 -parallel 8             # fan simulations out across 8 workers
+//	table1 -parallel 0             # one worker per CPU
 //	table1 -csv                    # CSV instead of markdown
+//
+// The -parallel flag changes only the wall-clock time: rows are identical
+// to the serial run apart from the timing columns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,7 @@ func main() {
 	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
 	part := flag.String("part", "all", "table half: mem, fid, or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
+	parallel := flag.Int("parallel", 1, "simulation workers (0 = one per CPU)")
 	flag.Parse()
 
 	suite, err := benchtab.NewSuite(*scale)
@@ -31,18 +38,31 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	opts := benchtab.RunOptions{
+		Parallel: benchtab.Workers(*parallel),
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+
 	var rows []benchtab.Row
 	if *part == "mem" || *part == "all" {
-		fmt.Fprintf(os.Stderr, "running memory-driven half (%d supremacy cases)...\n", len(suite.Supremacy))
-		r, err := suite.RunMemoryDriven()
+		fmt.Fprintf(os.Stderr, "running memory-driven half (%d supremacy cases, %d workers)...\n",
+			len(suite.Supremacy), opts.Parallel)
+		r, err := suite.RunMemoryDrivenBatch(ctx, opts)
 		if err != nil {
 			fatal(err)
 		}
 		rows = append(rows, r...)
 	}
 	if *part == "fid" || *part == "all" {
-		fmt.Fprintf(os.Stderr, "running fidelity-driven half (%d Shor cases)...\n", len(suite.Shor))
-		r, err := suite.RunFidelityDriven()
+		fmt.Fprintf(os.Stderr, "running fidelity-driven half (%d Shor cases, %d workers)...\n",
+			len(suite.Shor), opts.Parallel)
+		r, err := suite.RunFidelityDrivenBatch(ctx, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -22,4 +22,20 @@
 //	s := repro.NewSimulator()
 //	res, err := s.Run(c, repro.Options{})
 //	// res.Final is the state DD; sample or inspect amplitudes via s.M.
+//
+// Batch simulation: the paper's tables and hyper-parameter sweeps are many
+// independent runs, and BatchRun fans them out across a worker pool (one DD
+// manager per worker) with deterministic per-job seeding, context
+// cancellation, and per-job deadlines. Results are identical for any worker
+// count, timing fields aside:
+//
+//	res, err := repro.BatchRun(ctx, jobs, repro.BatchOptions{Workers: 0})
+//
+// The same engine backs Table1Suite.RunMemoryDrivenBatch /
+// RunFidelityDrivenBatch and the benchtab sweep drivers; the table1 and
+// experiments commands expose it as -parallel N.
+//
+// Development gates: `make ci` runs gofmt -l cleanliness, go vet, the
+// build, and the race-detector test suite — the same four checks the
+// GitHub Actions workflow enforces on every push and pull request.
 package repro

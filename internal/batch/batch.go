@@ -1,0 +1,282 @@
+// Package batch fans independent simulation jobs out across a pool of
+// worker goroutines. Each worker owns one sim.Simulator — DD managers are
+// not goroutine-safe, so a manager is never shared between workers — and
+// jobs are dispatched in index order with results reported in index order.
+//
+// The engine guarantees determinism: a job's outcome depends only on its
+// circuit, its options, and the seed derived from Options.BaseSeed and the
+// job index — never on the worker it lands on or the worker count. By
+// default every job runs on a fresh manager, so node identities, value-table
+// contents, and therefore every reported metric are bit-identical between a
+// serial (one-worker) and a parallel run; only wall-clock timing fields
+// differ. Options.ReuseManagers trades this guarantee for warm unique-table
+// and operation caches.
+//
+// Cancellation is cooperative and two-level: the batch context stops
+// dispatch of not-yet-started jobs and aborts in-flight simulations between
+// gates (via sim.Options.Context), and per-job deadlines (Job.Timeout or
+// Options.JobTimeout) bound each simulation individually, mirroring the
+// paper's 3 h timeout column.
+//
+// internal/benchtab builds its hyper-parameter sweeps (E8/E9) and both
+// Table I halves on this engine, and the root package re-exports it as
+// repro.BatchRun.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Job is one independent simulation.
+type Job struct {
+	// Name labels the job in results and progress reports.
+	Name string
+	// Circuit to simulate. Must be non-nil; a nil circuit fails the job
+	// (not the batch).
+	Circuit *circuit.Circuit
+	// Options for the run. Options.Strategy must not be shared with any
+	// other job in the batch: strategies are stateful per run, so two
+	// workers driving one strategy instance race. Prefer NewStrategy.
+	// A zero Options.MeasurementSeed is replaced by the derived per-job
+	// seed (see Seed); a non-zero seed is kept verbatim.
+	Options sim.Options
+	// NewStrategy, when non-nil, constructs a fresh strategy for this
+	// job's run, overriding Options.Strategy. This is the safe way to give
+	// many jobs the "same" (stateful) strategy configuration.
+	NewStrategy func() core.Strategy
+	// Timeout bounds this job's simulation; it takes precedence over
+	// Options.JobTimeout. Zero means no per-job override. An explicit
+	// Options.Deadline wins over both.
+	Timeout time.Duration
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Name echoes Job.Name.
+	Name string
+	// Worker is the worker that ran the job, -1 if it was never started.
+	Worker int
+	// Seed is the measurement seed the run actually used.
+	Seed int64
+	// Result is the simulation result, nil on error.
+	Result *sim.Result
+	// Elapsed is the wall-clock time the job occupied its worker,
+	// including failed and timed-out attempts (zero for jobs that never
+	// started).
+	Elapsed time.Duration
+	// Err is the simulation error, the per-job deadline error (wrapping
+	// sim.ErrDeadlineExceeded), or the batch context's cancellation cause
+	// for jobs that never started.
+	Err error
+}
+
+// Canceled reports whether the job was aborted by standard context
+// cancellation (either before starting or between gates) rather than
+// failing on its own. Run additionally classifies jobs aborted with a
+// custom cancellation cause (context.WithCancelCause) as canceled when
+// counting Result.Canceled.
+func (r JobResult) Canceled() bool {
+	return errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
+}
+
+// Result aggregates a finished batch.
+type Result struct {
+	// Jobs holds one entry per input job, ordered by job index.
+	Jobs []JobResult
+	// Workers is the number of worker goroutines used.
+	Workers int
+	// WallTime is the elapsed time of the whole batch.
+	WallTime time.Duration
+	// CPUTime is the sum of the per-job elapsed times, including failed
+	// and timed-out jobs. Each job's elapsed time is its own wall clock,
+	// so as long as workers do not oversubscribe physical cores this is
+	// the cost a one-worker run would pay, and WallTime approaches
+	// CPUTime/Workers for balanced jobs; with more workers than cores,
+	// time-sharing inflates it.
+	CPUTime time.Duration
+	// Completed, Failed, and Canceled count jobs by outcome.
+	Completed, Failed, Canceled int
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers is the worker-pool size; values ≤ 0 select
+	// runtime.GOMAXPROCS(0). The pool never exceeds the job count.
+	Workers int
+	// BaseSeed derives each job's measurement seed as Seed(BaseSeed,
+	// index), keeping measurement and reset outcomes deterministic and
+	// distinct across jobs for any worker count.
+	BaseSeed int64
+	// JobTimeout bounds every job's simulation (Job.Timeout overrides it
+	// per job). Zero means no limit.
+	JobTimeout time.Duration
+	// ReuseManagers keeps one manager per worker alive across that
+	// worker's jobs instead of resetting per job. This warms the unique
+	// table and operation caches but makes low-order digits of reported
+	// amplitudes depend on job-to-worker assignment (the complex-number
+	// table snaps values within tolerance to existing entries), so
+	// results are no longer bit-reproducible across worker counts.
+	ReuseManagers bool
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of finished jobs, the total, and that job's result. Calls are
+	// serialized; done reaches total unless the batch is canceled.
+	Progress func(done, total int, r JobResult)
+}
+
+// Run executes the jobs on a worker pool and returns the aggregated result.
+// Per-job failures are reported in Result.Jobs, not as a Run error; the
+// returned error is non-nil only when ctx was canceled, in which case the
+// partial Result is still returned (unstarted jobs carry the cancellation
+// cause as their Err).
+func Run(ctx context.Context, jobs []Job, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	res := &Result{Jobs: make([]JobResult, len(jobs)), Workers: workers}
+	if len(jobs) == 0 {
+		return res, nil
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes the done counter and Progress calls
+		done int
+	)
+	report := func(jr JobResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs), jr)
+		}
+	}
+
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var s *sim.Simulator
+			if opts.ReuseManagers {
+				s = sim.New()
+			}
+			for idx := range idxCh {
+				jr := runJob(ctx, worker, idx, jobs[idx], opts, s)
+				res.Jobs[idx] = jr // each index is written exactly once
+				report(jr)
+			}
+		}(w)
+	}
+
+	// Dispatch in index order; on cancellation, mark the undispatched tail
+	// (no worker ever observes those indices, so the writes are safe).
+	next := len(jobs)
+dispatch:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			next = i
+			break dispatch
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	for i := next; i < len(jobs); i++ {
+		res.Jobs[i] = JobResult{
+			Index: i, Name: jobs[i].Name, Worker: -1, Err: context.Cause(ctx),
+		}
+	}
+
+	cause := context.Cause(ctx)
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		res.CPUTime += jr.Elapsed
+		switch {
+		case jr.Err == nil:
+			res.Completed++
+		case jr.Canceled(), cause != nil && errors.Is(jr.Err, cause):
+			res.Canceled++
+		default:
+			res.Failed++
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, cause
+}
+
+// runJob executes one job on the worker's simulator (or a fresh one when
+// managers are not reused).
+func runJob(ctx context.Context, worker, idx int, job Job, opts Options, s *sim.Simulator) JobResult {
+	jr := JobResult{Index: idx, Name: job.Name, Worker: worker}
+	if err := context.Cause(ctx); err != nil {
+		jr.Err = err
+		return jr
+	}
+	if job.Circuit == nil {
+		jr.Err = fmt.Errorf("batch: job %d (%s): nil circuit", idx, job.Name)
+		return jr
+	}
+	o := job.Options
+	if o.Context == nil {
+		o.Context = ctx
+	}
+	if o.MeasurementSeed == 0 {
+		o.MeasurementSeed = Seed(opts.BaseSeed, idx)
+	}
+	jr.Seed = o.MeasurementSeed
+	if o.Deadline.IsZero() {
+		timeout := job.Timeout
+		if timeout <= 0 {
+			timeout = opts.JobTimeout
+		}
+		if timeout > 0 {
+			o.Deadline = time.Now().Add(timeout)
+		}
+	}
+	if job.NewStrategy != nil {
+		o.Strategy = job.NewStrategy()
+	}
+	if s == nil {
+		s = sim.New()
+	}
+	begin := time.Now()
+	jr.Result, jr.Err = s.Run(job.Circuit, o)
+	jr.Elapsed = time.Since(begin)
+	return jr
+}
+
+// Seed derives the measurement seed for the job at the given index from a
+// batch base seed, via a SplitMix64-style finalizer: well-spread, non-zero
+// for index ≥ 0, and stable across worker counts.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 { // zero means "derive" to the engine; never hand it back
+		z = 0x9E3779B97F4A7C15
+	}
+	return int64(z)
+}

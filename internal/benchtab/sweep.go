@@ -1,14 +1,15 @@
 package benchtab
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/shor"
-	"repro/internal/sim"
 )
 
 // SweepPoint is one configuration of a hyper-parameter sweep (the series
@@ -24,65 +25,88 @@ type SweepPoint struct {
 	ExactTime time.Duration // exact reference runtime
 }
 
+// SweepOptions configures how a sweep executes; it is the same options
+// type the Table I drivers take. The zero value runs serially, matching
+// the historical behavior of SweepThreshold and SweepRoundFidelity.
+type SweepOptions = RunOptions
+
 // SweepThreshold runs the memory-driven strategy on one circuit across a
-// range of thresholds at fixed f_round (E8).
+// range of thresholds at fixed f_round (E8), serially.
 func SweepThreshold(c *circuit.Circuit, thresholds []int, fround, growth float64) ([]SweepPoint, error) {
-	ref := sim.New()
-	exact, err := ref.Run(c, sim.Options{})
-	if err != nil {
-		return nil, err
-	}
-	var out []SweepPoint
+	return SweepThresholdBatch(context.Background(), c, thresholds, fround, growth, SweepOptions{})
+}
+
+// SweepThresholdBatch is SweepThreshold on the batch engine: the exact
+// reference and every threshold configuration are independent jobs fanned
+// out across opts.Parallel workers, with context cancellation.
+func SweepThresholdBatch(ctx context.Context, c *circuit.Circuit, thresholds []int, fround, growth float64, opts SweepOptions) ([]SweepPoint, error) {
+	jobs := make([]batch.Job, 0, len(thresholds)+1)
+	jobs = append(jobs, batch.Job{Name: "exact", Circuit: c})
 	for _, th := range thresholds {
-		s := sim.New()
-		res, err := s.Run(c, sim.Options{Strategy: &core.MemoryDriven{
-			Threshold: th, RoundFidelity: fround, Growth: growth,
-		}})
-		if err != nil {
-			return nil, fmt.Errorf("benchtab: threshold %d: %w", th, err)
-		}
-		out = append(out, SweepPoint{
-			Label:     fmt.Sprintf("threshold=%d", th),
-			Rounds:    len(res.Rounds),
-			MaxDD:     res.MaxDDSize,
-			Runtime:   res.Runtime,
-			FinalFid:  res.EstimatedFidelity,
-			FidBound:  res.FidelityBound,
-			ExactMax:  exact.MaxDDSize,
-			ExactTime: exact.Runtime,
+		jobs = append(jobs, batch.Job{
+			Name:    fmt.Sprintf("threshold=%d", th),
+			Circuit: c,
+			NewStrategy: func() core.Strategy {
+				return &core.MemoryDriven{Threshold: th, RoundFidelity: fround, Growth: growth}
+			},
 		})
 	}
-	return out, nil
+	return runSweep(ctx, jobs, opts)
 }
 
 // SweepRoundFidelity runs the fidelity-driven strategy on a Shor instance
 // across a range of per-round fidelities at fixed f_final (E9: few
-// aggressive rounds vs many gentle ones).
+// aggressive rounds vs many gentle ones), serially.
 func SweepRoundFidelity(inst *shor.Instance, frounds []float64, ffinal float64) ([]SweepPoint, error) {
+	return SweepRoundFidelityBatch(context.Background(), inst, frounds, ffinal, SweepOptions{})
+}
+
+// SweepRoundFidelityBatch is SweepRoundFidelity on the batch engine.
+func SweepRoundFidelityBatch(ctx context.Context, inst *shor.Instance, frounds []float64, ffinal float64, opts SweepOptions) ([]SweepPoint, error) {
 	c := inst.BuildCircuit()
-	ref := sim.New()
-	exact, err := ref.Run(c, sim.Options{})
+	locations := inst.IQFTBoundaries(c) // shared read-only across jobs
+	jobs := make([]batch.Job, 0, len(frounds)+1)
+	jobs = append(jobs, batch.Job{Name: "exact", Circuit: c})
+	for _, fr := range frounds {
+		jobs = append(jobs, batch.Job{
+			Name:    fmt.Sprintf("fround=%g", fr),
+			Circuit: c,
+			NewStrategy: func() core.Strategy {
+				strat := core.NewFidelityDriven(ffinal, fr)
+				strat.Locations = locations
+				return strat
+			},
+		})
+	}
+	return runSweep(ctx, jobs, opts)
+}
+
+// runSweep executes jobs[0] as the exact reference plus one job per swept
+// configuration and assembles the points in job order.
+func runSweep(ctx context.Context, jobs []batch.Job, opts SweepOptions) ([]SweepPoint, error) {
+	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
 	if err != nil {
 		return nil, err
 	}
-	var out []SweepPoint
-	for _, fr := range frounds {
-		strat := core.NewFidelityDriven(ffinal, fr)
-		strat.Locations = inst.IQFTBoundaries(c)
-		s := sim.New()
-		res, err := s.Run(c, sim.Options{Strategy: strat})
-		if err != nil {
-			return nil, fmt.Errorf("benchtab: fround %v: %w", fr, err)
+	exact := bres.Jobs[0]
+	if exact.Err != nil {
+		return nil, exact.Err
+	}
+	out := make([]SweepPoint, 0, len(bres.Jobs)-1)
+	for _, jr := range bres.Jobs[1:] {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("benchtab: %s: %w", jr.Name, jr.Err)
 		}
+		res := jr.Result
 		out = append(out, SweepPoint{
-			Label:     fmt.Sprintf("fround=%g", fr),
+			Label:     jr.Name,
 			Rounds:    len(res.Rounds),
 			MaxDD:     res.MaxDDSize,
 			Runtime:   res.Runtime,
 			FinalFid:  res.EstimatedFidelity,
 			FidBound:  res.FidelityBound,
-			ExactMax:  exact.MaxDDSize,
-			ExactTime: exact.Runtime,
+			ExactMax:  exact.Result.MaxDDSize,
+			ExactTime: exact.Result.Runtime,
 		})
 	}
 	return out, nil

@@ -8,12 +8,23 @@
 // server experiments); `small` and `medium` keep the generators and
 // hyper-parameter structure but shrink qubit counts so the suite runs in
 // seconds to minutes. The substitution is documented in DESIGN.md.
+//
+// Both halves and the hyper-parameter sweeps run on the internal/batch
+// worker pool: every exact reference and approximate configuration is an
+// independent job, so RunOptions.Parallel > 1 fans the table out across
+// CPUs while producing rows identical to the serial path (timing columns
+// aside).
 package benchtab
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/batch"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/shor"
 	"repro/internal/sim"
@@ -83,106 +94,253 @@ type Suite struct {
 	SampleTrue bool          // measure true fidelity against the exact state
 }
 
-// RunMemoryDriven produces the memory-driven half of Table I.
+// RunOptions configures how a suite or sweep executes. The zero value runs
+// serially, matching the historical behavior of the option-less drivers
+// (RunMemoryDriven, RunFidelityDriven, SweepThreshold, SweepRoundFidelity).
+type RunOptions struct {
+	// Parallel is the batch worker count; values ≤ 1 run serially (use
+	// Workers to map a "0 = all CPUs" flag value). Rows are identical for
+	// every worker count (timing columns aside) because each job runs on
+	// a fresh manager with a seed derived from BaseSeed and its index.
+	Parallel int
+	// BaseSeed derives per-job measurement seeds.
+	BaseSeed int64
+	// Progress, when non-nil, receives (done, total) after each finished
+	// simulation job (exact references and approximate runs; the optional
+	// true-fidelity re-runs are not counted).
+	Progress func(done, total int)
+}
+
+// Workers maps a user-facing parallelism flag to a RunOptions.Parallel
+// value: n ≤ 0 selects one worker per CPU, anything else is taken verbatim.
+// The table1 and experiments commands share this for their -parallel flags.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+func (o RunOptions) workers() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+func (o RunOptions) batchOptions() batch.Options {
+	bo := batch.Options{BaseSeed: o.BaseSeed, Workers: o.workers()}
+	if o.Progress != nil {
+		p := o.Progress
+		bo.Progress = func(done, total int, _ batch.JobResult) { p(done, total) }
+	}
+	return bo
+}
+
+// RunMemoryDriven produces the memory-driven half of Table I, serially.
 func (s Suite) RunMemoryDriven() ([]Row, error) {
-	var rows []Row
-	for _, cs := range s.Supremacy {
+	return s.RunMemoryDrivenBatch(context.Background(), RunOptions{})
+}
+
+// RunMemoryDrivenBatch produces the memory-driven half on the batch engine:
+// one job per exact reference and per (circuit, f_round) configuration.
+func (s Suite) RunMemoryDrivenBatch(ctx context.Context, opts RunOptions) ([]Row, error) {
+	var jobs []batch.Job
+	circuits := make([]*circuit.Circuit, len(s.Supremacy))
+	exactIdx := make([]int, len(s.Supremacy))
+	approxIdx := make([][]int, len(s.Supremacy))
+	for i, cs := range s.Supremacy {
 		circ, err := cs.Config.Generate()
 		if err != nil {
 			return nil, err
 		}
-		simr := sim.New()
-		exact, exactErr := simr.Run(circ, sim.Options{Deadline: s.deadline()})
-		for _, fround := range cs.Frounds {
+		circuits[i] = circ
+		exactIdx[i] = len(jobs)
+		jobs = append(jobs, batch.Job{
+			Name: cs.Config.Name() + "/exact", Circuit: circ, Timeout: s.Timeout,
+		})
+		approxIdx[i] = make([]int, len(cs.Frounds))
+		for j, fround := range cs.Frounds {
+			approxIdx[i][j] = len(jobs)
+			jobs = append(jobs, batch.Job{
+				Name:        fmt.Sprintf("%s/fround=%g", cs.Config.Name(), fround),
+				Circuit:     circ,
+				Timeout:     s.Timeout,
+				NewStrategy: memoryStrategy(cs, fround),
+			})
+		}
+	}
+
+	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Row, 0, len(jobs)-len(s.Supremacy))
+	rowIdx := make([][]int, len(s.Supremacy))
+	for i, cs := range s.Supremacy {
+		exact := bres.Jobs[exactIdx[i]]
+		rowIdx[i] = make([]int, len(cs.Frounds))
+		for j, fround := range cs.Frounds {
 			row := Row{
 				Approach: "memory-driven",
 				Name:     cs.Config.Name(),
 				Qubits:   cs.Config.Qubits(),
 				RoundFid: fround,
 			}
-			fillExact(&row, exact, exactErr)
-			strat := &core.MemoryDriven{
-				Threshold:     cs.Threshold,
-				RoundFidelity: fround,
-				Growth:        cs.Growth,
-			}
-			approxSim := sim.New()
-			approx, err := approxSim.Run(circ, sim.Options{Strategy: strat, Deadline: s.deadline()})
-			if err != nil {
-				row.ApproxFailed = err.Error()
-				rows = append(rows, row)
-				continue
-			}
-			row.ApproxMaxDD = approx.MaxDDSize
-			row.Rounds = len(approx.Rounds)
-			row.ApproxTime = approx.Runtime
-			row.FinalFid = approx.EstimatedFidelity
-			row.FidBound = approx.FidelityBound
-			row.TrueFidelity = -1
-			if s.SampleTrue && exactErr == nil {
-				// Re-run the approximate strategy inside the exact run's
-				// manager so the two final states can be compared.
-				strat2 := &core.MemoryDriven{
-					Threshold:     cs.Threshold,
-					RoundFidelity: fround,
-					Growth:        cs.Growth,
-				}
-				approx2, err := simr.Run(circ, sim.Options{Strategy: strat2, Deadline: s.deadline()})
-				if err == nil {
-					row.TrueFidelity = simr.M.Fidelity(exact.Final, approx2.Final)
-				}
-			}
+			fillExact(&row, exact.Result, exact.Err)
+			fillApprox(&row, bres.Jobs[approxIdx[i][j]])
+			rowIdx[i][j] = len(rows)
 			rows = append(rows, row)
+		}
+	}
+
+	if s.SampleTrue {
+		err := s.sampleTrue(ctx, opts, rows, len(s.Supremacy), func(i int) (batch.JobResult, []sampleRerun) {
+			cs := s.Supremacy[i]
+			reruns := make([]sampleRerun, len(cs.Frounds))
+			for j, fround := range cs.Frounds {
+				reruns[j] = sampleRerun{
+					row: rowIdx[i][j], circuit: circuits[i], newStrategy: memoryStrategy(cs, fround),
+				}
+			}
+			return bres.Jobs[exactIdx[i]], reruns
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
 }
 
-// RunFidelityDriven produces the fidelity-driven half of Table I.
+// RunFidelityDriven produces the fidelity-driven half of Table I, serially.
 func (s Suite) RunFidelityDriven() ([]Row, error) {
-	var rows []Row
-	for _, cs := range s.Shor {
+	return s.RunFidelityDrivenBatch(context.Background(), RunOptions{})
+}
+
+// RunFidelityDrivenBatch produces the fidelity-driven half on the batch
+// engine: one exact and one approximate job per Shor instance.
+func (s Suite) RunFidelityDrivenBatch(ctx context.Context, opts RunOptions) ([]Row, error) {
+	var jobs []batch.Job
+	insts := make([]*shor.Instance, len(s.Shor))
+	circuits := make([]*circuit.Circuit, len(s.Shor))
+	strategies := make([]func() core.Strategy, len(s.Shor))
+	for i, cs := range s.Shor {
 		inst, err := shor.NewInstance(cs.N, cs.A)
 		if err != nil {
 			return nil, err
 		}
+		insts[i] = inst
 		circ := inst.BuildCircuit()
+		circuits[i] = circ
+		strategies[i] = fidelityStrategy(cs, inst.IQFTBoundaries(circ))
+		jobs = append(jobs,
+			batch.Job{Name: inst.Name() + "/exact", Circuit: circ, Timeout: s.Timeout},
+			batch.Job{
+				Name:        fmt.Sprintf("%s/fround=%g", inst.Name(), cs.RoundFidelity),
+				Circuit:     circ,
+				Timeout:     s.Timeout,
+				NewStrategy: strategies[i],
+			},
+		)
+	}
+
+	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Row, 0, len(s.Shor))
+	for i, cs := range s.Shor {
+		exact := bres.Jobs[2*i]
 		row := Row{
 			Approach: "fidelity-driven",
-			Name:     inst.Name(),
-			Qubits:   inst.Qubits,
+			Name:     insts[i].Name(),
+			Qubits:   insts[i].Qubits,
 			RoundFid: cs.RoundFidelity,
 		}
-		simr := sim.New()
-		exact, exactErr := simr.Run(circ, sim.Options{Deadline: s.deadline()})
-		fillExact(&row, exact, exactErr)
-
-		strat := core.NewFidelityDriven(cs.FinalFidelity, cs.RoundFidelity)
-		strat.Locations = inst.IQFTBoundaries(circ)
-		approxSim := sim.New()
-		approx, err := approxSim.Run(circ, sim.Options{Strategy: strat, Deadline: s.deadline()})
-		if err != nil {
-			row.ApproxFailed = err.Error()
-			rows = append(rows, row)
-			continue
-		}
-		row.ApproxMaxDD = approx.MaxDDSize
-		row.Rounds = len(approx.Rounds)
-		row.ApproxTime = approx.Runtime
-		row.FinalFid = approx.EstimatedFidelity
-		row.FidBound = approx.FidelityBound
-		row.TrueFidelity = -1
-		if s.SampleTrue && exactErr == nil {
-			strat2 := core.NewFidelityDriven(cs.FinalFidelity, cs.RoundFidelity)
-			strat2.Locations = inst.IQFTBoundaries(circ)
-			approx2, err := simr.Run(circ, sim.Options{Strategy: strat2, Deadline: s.deadline()})
-			if err == nil {
-				row.TrueFidelity = simr.M.Fidelity(exact.Final, approx2.Final)
-			}
-		}
+		fillExact(&row, exact.Result, exact.Err)
+		fillApprox(&row, bres.Jobs[2*i+1])
 		rows = append(rows, row)
 	}
+
+	if s.SampleTrue {
+		err := s.sampleTrue(ctx, opts, rows, len(s.Shor), func(i int) (batch.JobResult, []sampleRerun) {
+			return bres.Jobs[2*i], []sampleRerun{
+				{row: i, circuit: circuits[i], newStrategy: strategies[i]},
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return rows, nil
+}
+
+func memoryStrategy(cs SupremacyCase, fround float64) func() core.Strategy {
+	return func() core.Strategy {
+		return &core.MemoryDriven{
+			Threshold:     cs.Threshold,
+			RoundFidelity: fround,
+			Growth:        cs.Growth,
+		}
+	}
+}
+
+func fidelityStrategy(cs ShorCase, locations []int) func() core.Strategy {
+	return func() core.Strategy {
+		strat := core.NewFidelityDriven(cs.FinalFidelity, cs.RoundFidelity)
+		strat.Locations = locations
+		return strat
+	}
+}
+
+// sampleRerun is one approximate re-run inside an exact run's manager, so
+// the two final states can be compared for the TrueFidelity column.
+type sampleRerun struct {
+	row         int // index into rows
+	circuit     *circuit.Circuit
+	newStrategy func() core.Strategy
+}
+
+// sampleTrue fills the TrueFidelity column: for each case whose exact
+// reference succeeded, the approximate configurations are re-run inside the
+// exact run's manager (each exact job owns a dedicated manager, so cases
+// proceed in parallel; re-runs within a case share a manager and run
+// sequentially on one goroutine). A re-run that fails on its own merely
+// leaves the -1 sentinel in place, but context cancellation is returned so
+// callers never mistake an interrupted sampling phase for a finished one.
+func (s Suite) sampleTrue(ctx context.Context, opts RunOptions, rows []Row, cases int, plan func(i int) (batch.JobResult, []sampleRerun)) error {
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i := 0; i < cases; i++ {
+		exact, reruns := plan(i)
+		if exact.Err != nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			simr := &sim.Simulator{M: exact.Result.Manager}
+			for _, r := range reruns {
+				if rows[r.row].ApproxFailed != "" {
+					continue
+				}
+				approx2, err := simr.Run(r.circuit, sim.Options{
+					Strategy: r.newStrategy(),
+					Deadline: s.deadline(),
+					Context:  ctx,
+				})
+				if err == nil {
+					rows[r.row].TrueFidelity = simr.M.Fidelity(exact.Result.Final, approx2.Final)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return context.Cause(ctx)
 }
 
 func (s Suite) deadline() time.Time {
@@ -199,6 +357,20 @@ func fillExact(row *Row, exact *sim.Result, err error) {
 	}
 	row.ExactMaxDD = exact.MaxDDSize
 	row.ExactTime = exact.Runtime
+}
+
+func fillApprox(row *Row, jr batch.JobResult) {
+	if jr.Err != nil {
+		row.ApproxFailed = jr.Err.Error()
+		return
+	}
+	approx := jr.Result
+	row.ApproxMaxDD = approx.MaxDDSize
+	row.Rounds = len(approx.Rounds)
+	row.ApproxTime = approx.Runtime
+	row.FinalFid = approx.EstimatedFidelity
+	row.FidBound = approx.FidelityBound
+	row.TrueFidelity = -1
 }
 
 // Validate sanity-checks a suite configuration.

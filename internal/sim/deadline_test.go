@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -16,6 +17,27 @@ func TestDeadlineExceededIsTyped(t *testing.T) {
 	}
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Errorf("error %v does not wrap ErrDeadlineExceeded", err)
+	}
+}
+
+func TestCanceledContextAbortsRun(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	boom := errors.New("boom")
+	cancel(boom)
+	_, err := s.Run(gen.QFT(8), Options{Context: ctx})
+	if err == nil {
+		t.Fatal("canceled context accepted")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not wrap the cancellation cause", err)
+	}
+}
+
+func TestLiveContextDoesNotInterfere(t *testing.T) {
+	s := New()
+	if _, err := s.Run(gen.QFT(6), Options{Context: context.Background()}); err != nil {
+		t.Fatalf("live context rejected run: %v", err)
 	}
 }
 

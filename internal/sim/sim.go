@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -37,6 +38,10 @@ type Options struct {
 	// (checked between gates), mirroring the paper's 3 h timeout column.
 	// The zero value means no deadline.
 	Deadline time.Time
+	// Context, when non-nil, cancels the run between gates once done; the
+	// returned error wraps the context's error. This is how the batch
+	// engine aborts in-flight simulations.
+	Context context.Context
 	// MeasurementSeed seeds the RNG used by mid-circuit measurement and
 	// reset gates (deterministic per seed).
 	MeasurementSeed int64
@@ -139,6 +144,11 @@ func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
 	for i, g := range c.Gates() {
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
 			return nil, fmt.Errorf("after gate %d of %d: %w", i, c.Len(), ErrDeadlineExceeded)
+		}
+		if opts.Context != nil {
+			if err := context.Cause(opts.Context); err != nil {
+				return nil, fmt.Errorf("sim: canceled after gate %d of %d: %w", i, c.Len(), err)
+			}
 		}
 		switch g.Kind {
 		case circuit.KindMeasure, circuit.KindReset:
