@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
 
 all: build
 
@@ -23,6 +23,14 @@ race:
 ## bench: one-iteration benchmark smoke pass (checks the harness, not perf)
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-smoke: one-iteration dd + batch benchmarks with JSON output, so CI
+## archives BENCH_dd.json and the gate-application perf trajectory is
+## tracked PR over PR
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Gate|Batch' -benchtime 1x -benchmem -json \
+		./internal/dd ./internal/batch > BENCH_dd.json
+	@echo "bench-smoke: $$(grep -c '"Output":"Benchmark' BENCH_dd.json) benchmark lines -> BENCH_dd.json"
 
 ## fmt: rewrite all Go sources with gofmt
 fmt:

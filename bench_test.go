@@ -296,7 +296,9 @@ func BenchmarkDDInnerProduct(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := s.Run(gen.RandomCliffordT(14, 100, 5), sim.Options{})
+	// The second run shares the manager: keep a's final state out of the
+	// node pool's reach while it executes.
+	c, err := s.Run(gen.RandomCliffordT(14, 100, 5), sim.Options{KeepAlive: []dd.VEdge{a.Final}})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,6 +8,10 @@
 //	experiments                # small scale (~1 min)
 //	experiments -scale medium  # ~10 min
 //	experiments -parallel 0    # fan simulations out across all CPUs
+//	experiments -verbose       # append DD memory-system stats (per-cache
+//	                           # hits/misses/evictions, pool and weight-table
+//	                           # pressure) from a representative run
+//	experiments -reuse         # recycle pooled DD memory across sweep jobs
 package main
 
 import (
@@ -28,17 +32,23 @@ import (
 func main() {
 	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
 	parallel := flag.Int("parallel", 1, "simulation workers for Table I and the sweeps (0 = one per CPU)")
+	verbose := flag.Bool("verbose", false, "append DD memory-system statistics (per-cache hits/misses/evictions, node pool, weight table)")
+	reuse := flag.Bool("reuse", false, "keep one DD manager per worker across sweep jobs, recycling pooled node memory (drops bit-reproducibility across worker counts)")
 	flag.Parse()
 	workers := benchtab.Workers(*parallel)
+	runOpts := benchtab.RunOptions{Parallel: workers, Reuse: *reuse}
 
 	fmt.Printf("# Experiment report (%s scale)\n\n", *scale)
 
 	report("E3/E7 — paper figures and worked examples", paperExamples)
-	report("E1/E2 — Table I", func() error { return table1(*scale, workers) })
-	report("E8 — memory-driven threshold sweep", func() error { return thresholdSweep(workers) })
-	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(workers) })
+	report("E1/E2 — Table I", func() error { return table1(*scale, runOpts) })
+	report("E8 — memory-driven threshold sweep", func() error { return thresholdSweep(runOpts) })
+	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(runOpts) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
+	if *verbose {
+		report("DD memory system — per-cache and pool statistics", memorySystemStats)
+	}
 }
 
 func report(title string, f func() error) {
@@ -83,13 +93,12 @@ func paperExamples() error {
 	return nil
 }
 
-func table1(scale string, workers int) error {
+func table1(scale string, opts benchtab.RunOptions) error {
 	suite, err := benchtab.NewSuite(scale)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	opts := benchtab.RunOptions{Parallel: workers}
 	mem, err := suite.RunMemoryDrivenBatch(ctx, opts)
 	if err != nil {
 		return err
@@ -102,15 +111,14 @@ func table1(scale string, workers int) error {
 	return nil
 }
 
-func thresholdSweep(workers int) error {
+func thresholdSweep(opts benchtab.SweepOptions) error {
 	cfg := supremacy.Config{Rows: 3, Cols: 4, Depth: 16, Seed: 0}
 	c, err := cfg.Generate()
 	if err != nil {
 		return err
 	}
 	points, err := benchtab.SweepThresholdBatch(context.Background(), c,
-		[]int{256, 512, 1024, 2048, 4096}, 0.975, 1.05,
-		benchtab.SweepOptions{Parallel: workers})
+		[]int{256, 512, 1024, 2048, 4096}, 0.975, 1.05, opts)
 	if err != nil {
 		return err
 	}
@@ -118,14 +126,13 @@ func thresholdSweep(workers int) error {
 	return nil
 }
 
-func roundTradeoff(workers int) error {
+func roundTradeoff(opts benchtab.SweepOptions) error {
 	inst, err := shor.NewInstance(33, 5)
 	if err != nil {
 		return err
 	}
 	points, err := benchtab.SweepRoundFidelityBatch(context.Background(), inst,
-		[]float64{0.51, 0.71, 0.8, 0.9, 0.95, 0.99}, 0.5,
-		benchtab.SweepOptions{Parallel: workers})
+		[]float64{0.51, 0.71, 0.8, 0.9, 0.95, 0.99}, 0.5, opts)
 	if err != nil {
 		return err
 	}
@@ -151,6 +158,49 @@ func fidelityTracking() error {
 	if cmp.TrueFidelity < cmp.Approx.FidelityBound-1e-6 {
 		return fmt.Errorf("bound violated")
 	}
+	return nil
+}
+
+// memorySystemStats runs the E8 supremacy circuit (exact, then memory-driven
+// approximate) on one manager and reports the DD memory system's per-cache
+// hit/miss/eviction counters, node-pool traffic, and weight-table pressure.
+func memorySystemStats() error {
+	cfg := supremacy.Config{Rows: 3, Cols: 4, Depth: 16, Seed: 0}
+	c, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	s := sim.New()
+	if _, err := s.Run(c, sim.Options{}); err != nil {
+		return err
+	}
+	s.Recycle()
+	res, err := s.Run(c, sim.Options{
+		Strategy: &core.MemoryDriven{Threshold: 1 << 10, RoundFidelity: 0.975, Growth: 1.05},
+	})
+	if err != nil {
+		return err
+	}
+	st := res.DDStats
+	fmt.Printf("workload: %s exact + memory-driven on one manager (Recycle between runs)\n\n", cfg.Name())
+	fmt.Println("| cache | hits | misses | evictions | hit ratio |")
+	fmt.Println("|-------|-----:|-------:|----------:|----------:|")
+	for _, row := range []struct {
+		name string
+		cs   dd.CacheStats
+	}{
+		{"add", st.Add}, {"madd", st.MAdd}, {"mul", st.Mul}, {"mm", st.MM}, {"ip", st.IP},
+	} {
+		fmt.Printf("| %s | %d | %d | %d | %.3f |\n",
+			row.name, row.cs.Hits, row.cs.Misses, row.cs.Evictions, row.cs.HitRatio())
+	}
+	pool := res.Manager.Pool()
+	fmt.Printf("\nnodes: %d vector + %d matrix created, %d recycled from pools; unique tables %d+%d live; pool %d live / %d free / %d capacity; %d cleanups\n",
+		st.VNodesCreated, st.MNodesCreated, st.VNodesRecycled+st.MNodesRecycled,
+		st.VUniqueSize, st.MUniqueSize, pool.Live, pool.Free, pool.Capacity, st.Cleanups)
+	wt := res.WeightTable
+	fmt.Printf("weight table: %d interned values (peak %d), %d lookups this run, hit ratio %.4f\n",
+		st.ComplexValues, wt.Peak, wt.Lookups, wt.HitRatio())
 	return nil
 }
 

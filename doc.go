@@ -35,6 +35,15 @@
 // RunFidelityDrivenBatch and the benchtab sweep drivers; the table1 and
 // experiments commands expose it as -parallel N.
 //
+// Memory system: the DD substrate interns nodes in per-variable hashed
+// unique tables with intrusive bucket chains, serves node allocations from
+// pooled chunks with free-list recycling, and runs bounded power-of-two
+// compute caches with overwrite-on-collision eviction and O(1)
+// generation-bump invalidation. Cleanup is a mark-sweep collector over the
+// pools, so long-running and batch workloads reuse node memory instead of
+// re-allocating. See the "Architecture: DD memory system" section of
+// README.md.
+//
 // Development gates: `make ci` runs gofmt -l cleanliness, go vet, the
 // build, and the race-detector test suite — the same four checks the
 // GitHub Actions workflow enforces on every push and pull request.

@@ -9,8 +9,8 @@
 // default every job runs on a fresh manager, so node identities, value-table
 // contents, and therefore every reported metric are bit-identical between a
 // serial (one-worker) and a parallel run; only wall-clock timing fields
-// differ. Options.ReuseManagers trades this guarantee for warm unique-table
-// and operation caches.
+// differ. Options.ReuseManagers trades this guarantee for pooled node
+// memory and a warm weight table carried from job to job.
 //
 // Cancellation is cooperative and two-level: the batch context stops
 // dispatch of not-yet-started jobs and aborts in-flight simulations between
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/cnum"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -122,11 +123,15 @@ type Options struct {
 	// per job). Zero means no limit.
 	JobTimeout time.Duration
 	// ReuseManagers keeps one manager per worker alive across that
-	// worker's jobs instead of resetting per job. This warms the unique
-	// table and operation caches but makes low-order digits of reported
-	// amplitudes depend on job-to-worker assignment (the complex-number
-	// table snaps values within tolerance to existing entries), so
-	// results are no longer bit-reproducible across worker counts.
+	// worker's jobs instead of resetting per job. Between jobs the worker
+	// recycles the manager's node pools (sim.Simulator.Recycle), so later
+	// jobs reuse pooled node memory and the warm complex-weight table
+	// instead of re-allocating; consequently a job's Result.Final is only
+	// valid until its worker starts the next job, and low-order digits of
+	// reported amplitudes depend on job-to-worker assignment (the
+	// complex-number table snaps values within tolerance to existing
+	// entries), so results are no longer bit-reproducible across worker
+	// counts.
 	ReuseManagers bool
 	// Progress, when non-nil, is called after each job finishes with the
 	// number of finished jobs, the total, and that job's result. Calls are
@@ -179,7 +184,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Result, error) {
 			if opts.ReuseManagers {
 				s = sim.New()
 			}
+			first := true
 			for idx := range idxCh {
+				if s != nil && !first {
+					// Return the previous job's nodes to the pools; the
+					// next run then recycles memory instead of allocating.
+					s.Recycle()
+				}
+				first = false
 				jr := runJob(ctx, worker, idx, jobs[idx], opts, s)
 				res.Jobs[idx] = jr // each index is written exactly once
 				report(jr)
@@ -266,15 +278,10 @@ func runJob(ctx context.Context, worker, idx int, job Job, opts Options, s *sim.
 }
 
 // Seed derives the measurement seed for the job at the given index from a
-// batch base seed, via a SplitMix64-style finalizer: well-spread, non-zero
+// batch base seed, via the SplitMix64 finalizer: well-spread, non-zero
 // for index ≥ 0, and stable across worker counts.
 func Seed(base int64, index int) int64 {
-	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
+	z := cnum.Mix64(uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15)
 	if z == 0 { // zero means "derive" to the engine; never hand it back
 		z = 0x9E3779B97F4A7C15
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/dd"
 	"repro/internal/shor"
 	"repro/internal/sim"
 	"repro/internal/supremacy"
@@ -105,6 +106,13 @@ type RunOptions struct {
 	Parallel int
 	// BaseSeed derives per-job measurement seeds.
 	BaseSeed int64
+	// Reuse keeps one DD manager per worker across jobs, recycling pooled
+	// node memory between jobs (batch.Options.ReuseManagers). Faster for
+	// long sweeps, but rows are then no longer bit-identical across worker
+	// counts, so the default keeps it off. Suites with SampleTrue ignore it:
+	// the true-fidelity column compares final states after the batch, which
+	// recycling would invalidate.
+	Reuse bool
 	// Progress, when non-nil, receives (done, total) after each finished
 	// simulation job (exact references and approximate runs; the optional
 	// true-fidelity re-runs are not counted).
@@ -129,7 +137,7 @@ func (o RunOptions) workers() int {
 }
 
 func (o RunOptions) batchOptions() batch.Options {
-	bo := batch.Options{BaseSeed: o.BaseSeed, Workers: o.workers()}
+	bo := batch.Options{BaseSeed: o.BaseSeed, Workers: o.workers(), ReuseManagers: o.Reuse}
 	if o.Progress != nil {
 		p := o.Progress
 		bo.Progress = func(done, total int, _ batch.JobResult) { p(done, total) }
@@ -171,7 +179,11 @@ func (s Suite) RunMemoryDrivenBatch(ctx context.Context, opts RunOptions) ([]Row
 		}
 	}
 
-	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
+	bo := opts.batchOptions()
+	if s.SampleTrue {
+		bo.ReuseManagers = false // sampleTrue reads Final states post-batch
+	}
+	bres, err := batch.Run(ctx, jobs, bo)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +257,11 @@ func (s Suite) RunFidelityDrivenBatch(ctx context.Context, opts RunOptions) ([]R
 		)
 	}
 
-	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
+	bo := opts.batchOptions()
+	if s.SampleTrue {
+		bo.ReuseManagers = false // sampleTrue reads Final states post-batch
+	}
+	bres, err := batch.Run(ctx, jobs, bo)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +348,9 @@ func (s Suite) sampleTrue(ctx context.Context, opts RunOptions, rows []Row, case
 					Strategy: r.newStrategy(),
 					Deadline: s.deadline(),
 					Context:  ctx,
+					// The exact final state must survive this run's node-pool
+					// sweeps for the fidelity comparison below.
+					KeepAlive: []dd.VEdge{exact.Result.Final},
 				})
 				if err == nil {
 					rows[r.row].TrueFidelity = simr.M.Fidelity(exact.Result.Final, approx2.Final)

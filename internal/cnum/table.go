@@ -24,6 +24,7 @@ type Table struct {
 
 	lookups int64
 	hits    int64
+	seq     uint64 // interning counter feeding Value hashes
 }
 
 // NewTable returns a table with DefaultTolerance.
@@ -45,6 +46,11 @@ func (t *Table) Tolerance() float64 { return t.tol }
 
 // Size returns the number of interned values.
 func (t *Table) Size() int { return len(t.cells) }
+
+// Peak returns the high-water mark of Size over the table's lifetime. The
+// table never shrinks, so this is simply Size; callers reporting table
+// pressure should use Peak so the metric survives future compaction.
+func (t *Table) Peak() int { return len(t.cells) }
 
 // Stats returns lookup and hit counters (for instrumentation).
 func (t *Table) Stats() (lookups, hits int64) { return t.lookups, t.hits }
@@ -91,23 +97,37 @@ func (t *Table) LookupFloat(re, im float64) *Value {
 			}
 		}
 	}
-	v := &Value{Re: re, Im: im}
 	// Snap near-exact constants so canonical values keep pointer identity.
 	if math.Abs(re) <= t.tol && math.Abs(im) <= t.tol {
 		if t.Zero != nil {
 			t.hits++
 			return t.Zero
 		}
-		v.Re, v.Im = 0, 0
+		re, im = 0, 0
 	} else if math.Abs(re-1) <= t.tol && math.Abs(im) <= t.tol {
 		if t.One != nil {
 			t.hits++
 			return t.One
 		}
-		v.Re, v.Im = 1, 0
+		re, im = 1, 0
 	}
+	t.seq++
+	v := &Value{Re: re, Im: im, hash: Mix64(t.seq + 0x9E3779B97F4A7C15)}
 	t.cells[k] = v
 	return v
+}
+
+// Mix64 is the SplitMix64 finalizer: a cheap bijective mixer whose output
+// bits all depend on all input bits. The table uses it to turn the
+// sequential interning counter into a well-spread Value hash, and the
+// decision-diagram tables reuse it to finish their combined key hashes.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }
 
 // IsZero reports whether v is the canonical zero of this table.

@@ -20,6 +20,21 @@ import (
 // weights can be compared by pointer identity.
 type Value struct {
 	Re, Im float64
+
+	// hash is a well-spread 64-bit identifier assigned by the owning Table
+	// at interning time. It is stable for the Value's lifetime and
+	// deterministic across runs (it depends only on the interning order),
+	// which lets decision-diagram tables hash on weights without touching
+	// pointer values.
+	hash uint64
+}
+
+// Hash returns the stable 64-bit hash assigned when the value was interned.
+func (v *Value) Hash() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.hash
 }
 
 // Complex returns the value as a complex128.

@@ -30,12 +30,10 @@ func (m *Manager) Add(a, b VEdge) VEdge {
 	// Factor out a.W: a + b = a.W · (A + (b.W/a.W)·B). Caching on the
 	// interned ratio makes the cache scale-invariant.
 	ratio := b.W.Complex() / a.W.Complex()
-	key := addKey{a: a.N, b: b.N, r: m.CN.Lookup(ratio)}
-	if res, ok := m.addCache[key]; ok {
-		m.cacheHits++
+	r := m.CN.Lookup(ratio)
+	if res, ok := m.addLookup(a.N, b.N, r); ok {
 		return m.ScaleV(res, a.W.Complex())
 	}
-	m.cacheMisses++
 	var children [2]VEdge
 	for i := 0; i < 2; i++ {
 		ea := a.N.E[i]
@@ -43,7 +41,7 @@ func (m *Manager) Add(a, b VEdge) VEdge {
 		children[i] = m.Add(ea, eb)
 	}
 	res := m.MakeVNode(a.N.Var, children[0], children[1])
-	m.addCache[key] = res
+	m.addStore(a.N, b.N, r, res)
 	return m.ScaleV(res, a.W.Complex())
 }
 
@@ -71,12 +69,10 @@ func (m *Manager) AddMat(a, b MEdge) MEdge {
 		a, b = b, a
 	}
 	ratio := b.W.Complex() / a.W.Complex()
-	key := maddKey{a: a.N, b: b.N, r: m.CN.Lookup(ratio)}
-	if res, ok := m.maddCache[key]; ok {
-		m.cacheHits++
+	r := m.CN.Lookup(ratio)
+	if res, ok := m.maddLookup(a.N, b.N, r); ok {
 		return m.ScaleM(res, a.W.Complex())
 	}
-	m.cacheMisses++
 	var children [4]MEdge
 	for i := 0; i < 4; i++ {
 		ea := a.N.E[i]
@@ -84,6 +80,6 @@ func (m *Manager) AddMat(a, b MEdge) MEdge {
 		children[i] = m.AddMat(ea, eb)
 	}
 	res := m.MakeMNode(a.N.Var, children)
-	m.maddCache[key] = res
+	m.maddStore(a.N, b.N, r, res)
 	return m.ScaleM(res, a.W.Complex())
 }

@@ -21,12 +21,9 @@ func (m *Manager) ipNodes(an, bn *VNode) complex128 {
 	if an.Var != bn.Var {
 		panic("dd: InnerProduct level mismatch")
 	}
-	key := ipKey{a: an, b: bn}
-	if res, ok := m.ipCache[key]; ok {
-		m.cacheHits++
+	if res, ok := m.ipLookup(an, bn); ok {
 		return res
 	}
-	m.cacheMisses++
 	var sum complex128
 	for c := 0; c < 2; c++ {
 		ea, eb := an.E[c], bn.E[c]
@@ -36,7 +33,7 @@ func (m *Manager) ipNodes(an, bn *VNode) complex128 {
 		wa := ea.W.Complex()
 		sum += complex(real(wa), -imag(wa)) * eb.W.Complex() * m.ipNodes(ea.N, eb.N)
 	}
-	m.ipCache[key] = sum
+	m.ipStore(an, bn, sum)
 	return sum
 }
 

@@ -6,59 +6,40 @@ import (
 	"repro/internal/cnum"
 )
 
-type vKey struct {
-	v      int32
-	w0, w1 *cnum.Value
-	n0, n1 *VNode
-}
-
-type mKey struct {
-	v int32
-	w [4]*cnum.Value
-	n [4]*MNode
-}
-
-type addKey struct {
-	a, b *VNode
-	r    *cnum.Value
-}
-
-type maddKey struct {
-	a, b *MNode
-	r    *cnum.Value
-}
-
-type mulKey struct {
-	m *MNode
-	v *VNode
-}
-
-type mmKey struct {
-	a, b *MNode
-}
-
-type ipKey struct {
-	a, b *VNode
-}
-
-// Manager owns the unique tables, compute caches, and the complex-number
-// table for a family of decision diagrams. All DDs passed to Manager methods
-// must have been created by the same Manager. Managers are not safe for
-// concurrent use.
+// Manager owns the node pools, unique tables, compute caches, and the
+// complex-number table for a family of decision diagrams. All DDs passed to
+// Manager methods must have been created by the same Manager. Managers are
+// not safe for concurrent use.
 type Manager struct {
 	CN *cnum.Table
 
 	vTerminal *VNode
 	mTerminal *MNode
 
-	vUnique map[vKey]*VNode
-	mUnique map[mKey]*MNode
+	// Per-variable unique tables (see unique.go) and node pools.
+	vLevels []vLevelTable
+	mLevels []mLevelTable
+	vPool   vNodePool
+	mPool   mNodePool
 
-	addCache  map[addKey]VEdge
-	maddCache map[maddKey]MEdge
-	mulCache  map[mulKey]VEdge
-	mmCache   map[mmKey]MEdge
-	ipCache   map[ipKey]complex128
+	// Bounded compute caches (see cache.go), invalidated as a whole by
+	// bumping cacheGen. The missMark fields record each cache's miss count
+	// at its last resize, driving the grow-under-pressure policy.
+	addCache     []addEntry
+	maddCache    []maddEntry
+	mulCache     []mulEntry
+	mmCache      []mmEntry
+	ipCache      []ipEntry
+	addMissMark  uint64
+	maddMissMark uint64
+	mulMissMark  uint64
+	mmMissMark   uint64
+	ipMissMark   uint64
+	cacheGen     uint32
+
+	// gcGen is the mark stamp of the most recent Cleanup; nodes whose gen
+	// matches it survived that sweep (see gc.go).
+	gcGen uint32
 
 	idChain []MEdge // idChain[k] = identity DD on qubits 0..k-1
 
@@ -67,8 +48,12 @@ type Manager struct {
 	// Stats counters.
 	vNodesCreated uint64
 	mNodesCreated uint64
-	cacheHits     uint64
-	cacheMisses   uint64
+	cleanups      uint64
+	addStats      CacheStats
+	maddStats     CacheStats
+	mulStats      CacheStats
+	mmStats       CacheStats
+	ipStats       CacheStats
 }
 
 // New returns a Manager with a fresh complex table at the default tolerance.
@@ -78,13 +63,13 @@ func New() *Manager { return NewWithTable(cnum.NewTable()) }
 func NewWithTable(cn *cnum.Table) *Manager {
 	m := &Manager{
 		CN:        cn,
-		vUnique:   make(map[vKey]*VNode, 1<<12),
-		mUnique:   make(map[mKey]*MNode, 1<<12),
-		addCache:  make(map[addKey]VEdge, 1<<12),
-		maddCache: make(map[maddKey]MEdge, 1<<10),
-		mulCache:  make(map[mulKey]VEdge, 1<<12),
-		mmCache:   make(map[mmKey]MEdge, 1<<10),
-		ipCache:   make(map[ipKey]complex128, 1<<10),
+		addCache:  make([]addEntry, cacheInitialSize),
+		maddCache: make([]maddEntry, cacheInitialSize),
+		mulCache:  make([]mulEntry, cacheInitialSize),
+		mmCache:   make([]mmEntry, cacheInitialSize),
+		ipCache:   make([]ipEntry, cacheInitialSize),
+		cacheGen:  1,
+		gcGen:     1,
 	}
 	m.vTerminal = &VNode{id: m.newID(), Var: TerminalVar}
 	m.mTerminal = &MNode{id: m.newID(), Var: TerminalVar}
@@ -164,28 +149,75 @@ func (m *Manager) NormalizeRootWeight(e VEdge) VEdge {
 	return m.vEdge(e.W.Complex()/complex(mag, 0), e.N)
 }
 
-// Stats reports manager counters: unique table sizes, nodes ever created and
-// compute-cache hit/miss counts.
+// Stats reports manager counters: unique-table sizes, node pool traffic, and
+// per-cache hit/miss/eviction counts.
 type Stats struct {
 	VUniqueSize   int
 	MUniqueSize   int
 	VNodesCreated uint64
 	MNodesCreated uint64
+	// VNodesRecycled / MNodesRecycled count creations served from the pool
+	// free lists (included in the Created totals).
+	VNodesRecycled uint64
+	MNodesRecycled uint64
+	// Per-cache compute-cache counters.
+	Add  CacheStats
+	MAdd CacheStats
+	Mul  CacheStats
+	MM   CacheStats
+	IP   CacheStats
+	// CacheHits / CacheMisses aggregate the per-cache counters (legacy view).
 	CacheHits     uint64
 	CacheMisses   uint64
+	Cleanups      uint64
 	ComplexValues int
 }
 
 // Stats returns a snapshot of the manager counters.
 func (m *Manager) Stats() Stats {
-	return Stats{
-		VUniqueSize:   len(m.vUnique),
-		MUniqueSize:   len(m.mUnique),
-		VNodesCreated: m.vNodesCreated,
-		MNodesCreated: m.mNodesCreated,
-		CacheHits:     m.cacheHits,
-		CacheMisses:   m.cacheMisses,
-		ComplexValues: m.CN.Size(),
+	s := Stats{
+		VNodesCreated:  m.vNodesCreated,
+		MNodesCreated:  m.mNodesCreated,
+		VNodesRecycled: m.vPool.recycled,
+		MNodesRecycled: m.mPool.recycled,
+		Add:            m.addStats,
+		MAdd:           m.maddStats,
+		Mul:            m.mulStats,
+		MM:             m.mmStats,
+		IP:             m.ipStats,
+		Cleanups:       m.cleanups,
+		ComplexValues:  m.CN.Size(),
+	}
+	s.VUniqueSize = m.vLiveCount()
+	s.MUniqueSize = m.mLiveCount()
+	for _, c := range []CacheStats{s.Add, s.MAdd, s.Mul, s.MM, s.IP} {
+		s.CacheHits += c.Hits
+		s.CacheMisses += c.Misses
+	}
+	return s
+}
+
+// PoolStats reports node-pool occupancy, the signal simulation uses to
+// decide when a Cleanup sweep is worthwhile.
+type PoolStats struct {
+	// Live is the number of nodes currently interned in the unique tables.
+	Live int
+	// Free is the number of swept nodes waiting on the free lists.
+	Free int
+	// Capacity is the number of pool slots ever handed out from chunks.
+	// Every slot is interned on allocation, so Capacity == Live + Free.
+	Capacity int
+	// Recycled counts node creations served from the free lists.
+	Recycled uint64
+}
+
+// Pool returns a snapshot of node-pool occupancy across both node kinds.
+func (m *Manager) Pool() PoolStats {
+	return PoolStats{
+		Live:     m.vLiveCount() + m.mLiveCount(),
+		Free:     m.vPool.freeCount + m.mPool.freeCount,
+		Capacity: m.vPool.allocated + m.mPool.allocated,
+		Recycled: m.vPool.recycled + m.mPool.recycled,
 	}
 }
 
@@ -223,13 +255,7 @@ func (m *Manager) MakeVNode(v int32, e0, e1 VEdge) VEdge {
 		ne0 = m.VZero()
 		ne1 = m.vEdge(complex(e1.W.Abs()/mag, 0), e1.N)
 	}
-	key := vKey{v: v, w0: ne0.W, w1: ne1.W, n0: ne0.N, n1: ne1.N}
-	n, ok := m.vUnique[key]
-	if !ok {
-		n = &VNode{id: m.newID(), Var: v, E: [2]VEdge{ne0, ne1}}
-		m.vUnique[key] = n
-		m.vNodesCreated++
-	}
+	n := m.vLookupInsert(v, ne0, ne1)
 	return VEdge{W: m.CN.Lookup(factor), N: n}
 }
 
@@ -256,8 +282,6 @@ func (m *Manager) MakeMNode(v int32, e [4]MEdge) MEdge {
 	}
 	factor := e[maxIdx].W.Complex()
 	var ne [4]MEdge
-	var key mKey
-	key.v = v
 	for i := range e {
 		if m.IsMZero(e[i]) {
 			ne[i] = m.MZero()
@@ -267,14 +291,7 @@ func (m *Manager) MakeMNode(v int32, e [4]MEdge) MEdge {
 		} else {
 			ne[i] = m.mEdge(e[i].W.Complex()/factor, e[i].N)
 		}
-		key.w[i] = ne[i].W
-		key.n[i] = ne[i].N
 	}
-	n, ok := m.mUnique[key]
-	if !ok {
-		n = &MNode{id: m.newID(), Var: v, E: ne}
-		m.mUnique[key] = n
-		m.mNodesCreated++
-	}
+	n := m.mLookupInsert(v, &ne)
 	return MEdge{W: m.CN.Lookup(factor), N: n}
 }

@@ -24,12 +24,9 @@ func (m *Manager) mulVecNodes(mn *MNode, vn *VNode) VEdge {
 	if mn.Var != vn.Var {
 		panic("dd: MulVec level mismatch")
 	}
-	key := mulKey{m: mn, v: vn}
-	if res, ok := m.mulCache[key]; ok {
-		m.cacheHits++
+	if res, ok := m.mulLookup(mn, vn); ok {
 		return res
 	}
-	m.cacheMisses++
 	var children [2]VEdge
 	for r := 0; r < 2; r++ {
 		p0 := m.MulVec(mn.E[2*r+0], vn.E[0])
@@ -37,7 +34,7 @@ func (m *Manager) mulVecNodes(mn *MNode, vn *VNode) VEdge {
 		children[r] = m.Add(p0, p1)
 	}
 	res := m.MakeVNode(mn.Var, children[0], children[1])
-	m.mulCache[key] = res
+	m.mulStore(mn, vn, res)
 	return res
 }
 
@@ -62,12 +59,9 @@ func (m *Manager) mulMatNodes(an, bn *MNode) MEdge {
 	if an.Var != bn.Var {
 		panic("dd: MulMat level mismatch")
 	}
-	key := mmKey{a: an, b: bn}
-	if res, ok := m.mmCache[key]; ok {
-		m.cacheHits++
+	if res, ok := m.mmLookup(an, bn); ok {
 		return res
 	}
-	m.cacheMisses++
 	var children [4]MEdge
 	for r := 0; r < 2; r++ {
 		for c := 0; c < 2; c++ {
@@ -78,6 +72,6 @@ func (m *Manager) mulMatNodes(an, bn *MNode) MEdge {
 		}
 	}
 	res := m.MakeMNode(an.Var, children)
-	m.mmCache[key] = res
+	m.mmStore(an, bn, res)
 	return res
 }

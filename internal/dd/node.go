@@ -16,6 +16,17 @@
 //     normalized so the first largest-magnitude weight equals 1.
 //   - Edge weights are interned in a cnum.Table; node identity is pointer
 //     identity maintained through unique tables.
+//
+// Memory system: nodes live in per-manager pools (chunked arrays with free
+// lists) and are interned through per-variable hashed unique tables whose
+// buckets chain nodes intrusively via the node's next pointer. Compute
+// caches (add, madd, mul, mm, ip) are fixed-size power-of-two arrays with
+// overwrite-on-collision eviction and generation-tag invalidation, so
+// ClearCaches is O(1) and cache memory is bounded. Cleanup is a mark-sweep
+// pass: live nodes are stamped with the current GC generation and dead nodes
+// are unlinked from their buckets onto the free lists for recycling. See the
+// "Architecture: DD memory system" section of the README for the full
+// design.
 package dd
 
 import "repro/internal/cnum"
@@ -26,9 +37,12 @@ const TerminalVar int32 = -1
 // VNode is a vector (state) DD node. Nodes must only be created through
 // Manager.MakeVNode so that they are normalized and interned.
 type VNode struct {
-	id  uint64
-	Var int32 // qubit index; TerminalVar for the terminal
-	E   [2]VEdge
+	id   uint64
+	hash uint64 // unique-table hash of (child weights, child ids)
+	next *VNode // unique-table bucket chain / pool free list
+	gen  uint32 // GC mark stamp (== Manager.gcGen when live at last sweep)
+	Var  int32  // qubit index; TerminalVar for the terminal
+	E    [2]VEdge
 }
 
 // ID returns the node's unique creation id (stable for the Manager lifetime).
@@ -48,9 +62,12 @@ type VEdge struct {
 // E[2*r+c] is the quadrant for output bit r and input bit c of the node's
 // qubit. Nodes must only be created through Manager.MakeMNode.
 type MNode struct {
-	id  uint64
-	Var int32
-	E   [4]MEdge
+	id   uint64
+	hash uint64
+	next *MNode
+	gen  uint32
+	Var  int32
+	E    [4]MEdge
 }
 
 // ID returns the node's unique creation id.

@@ -1,0 +1,518 @@
+package dd
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnum"
+)
+
+// This file retains the original map-based memory system as a reference
+// implementation: unique tables keyed on Go-map structs and unbounded map
+// compute caches, with the same normalization arithmetic as the production
+// Manager. The differential test below drives random circuits through both
+// and asserts identical DD structure, amplitudes, and node counts, so any
+// canonicity bug introduced by the hashed tables, bounded caches, or node
+// pooling shows up as a divergence.
+
+type refVNode struct {
+	id uint64
+	v  int32
+	e  [2]refVEdge
+}
+
+type refVEdge struct {
+	w *cnum.Value
+	n *refVNode
+}
+
+type refMNode struct {
+	id uint64
+	v  int32
+	e  [4]refMEdge
+}
+
+type refMEdge struct {
+	w *cnum.Value
+	n *refMNode
+}
+
+type refVKey struct {
+	v      int32
+	w0, w1 *cnum.Value
+	n0, n1 *refVNode
+}
+
+type refMKey struct {
+	v int32
+	w [4]*cnum.Value
+	n [4]*refMNode
+}
+
+type refAddKey struct {
+	a, b *refVNode
+	r    *cnum.Value
+}
+
+type refMulKey struct {
+	m *refMNode
+	v *refVNode
+}
+
+type refManager struct {
+	cn        *cnum.Table
+	vTerminal *refVNode
+	mTerminal *refMNode
+	vUnique   map[refVKey]*refVNode
+	mUnique   map[refMKey]*refMNode
+	addCache  map[refAddKey]refVEdge
+	mulCache  map[refMulKey]refVEdge
+	idChain   []refMEdge
+	nextID    uint64
+}
+
+func newRefManager() *refManager {
+	m := &refManager{
+		cn:       cnum.NewTable(),
+		vUnique:  make(map[refVKey]*refVNode),
+		mUnique:  make(map[refMKey]*refMNode),
+		addCache: make(map[refAddKey]refVEdge),
+		mulCache: make(map[refMulKey]refVEdge),
+	}
+	m.vTerminal = &refVNode{id: m.newID(), v: TerminalVar}
+	m.mTerminal = &refMNode{id: m.newID(), v: TerminalVar}
+	m.idChain = []refMEdge{{w: m.cn.One, n: m.mTerminal}}
+	return m
+}
+
+func (m *refManager) newID() uint64 {
+	m.nextID++
+	return m.nextID
+}
+
+func (m *refManager) vZero() refVEdge { return refVEdge{w: m.cn.Zero, n: m.vTerminal} }
+func (m *refManager) mZero() refMEdge { return refMEdge{w: m.cn.Zero, n: m.mTerminal} }
+
+func (m *refManager) vEdge(w complex128, n *refVNode) refVEdge {
+	wv := m.cn.Lookup(w)
+	if wv == m.cn.Zero {
+		return m.vZero()
+	}
+	return refVEdge{w: wv, n: n}
+}
+
+func (m *refManager) mEdge(w complex128, n *refMNode) refMEdge {
+	wv := m.cn.Lookup(w)
+	if wv == m.cn.Zero {
+		return m.mZero()
+	}
+	return refMEdge{w: wv, n: n}
+}
+
+func (m *refManager) scaleV(e refVEdge, w complex128) refVEdge {
+	if e.w == m.cn.Zero || w == 0 {
+		return m.vZero()
+	}
+	return m.vEdge(e.w.Complex()*w, e.n)
+}
+
+func (m *refManager) makeVNode(v int32, e0, e1 refVEdge) refVEdge {
+	z0, z1 := e0.w == m.cn.Zero, e1.w == m.cn.Zero
+	if z0 && z1 {
+		return m.vZero()
+	}
+	w0, w1 := e0.w.Complex(), e1.w.Complex()
+	mag := math.Sqrt(e0.w.Abs2() + e1.w.Abs2())
+	var ne0, ne1 refVEdge
+	var factor complex128
+	if !z0 {
+		phase := w0 / complex(e0.w.Abs(), 0)
+		factor = complex(mag, 0) * phase
+		ne0 = m.vEdge(complex(e0.w.Abs()/mag, 0), e0.n)
+		ne1 = m.vEdge(w1/factor, e1.n)
+	} else {
+		phase := w1 / complex(e1.w.Abs(), 0)
+		factor = complex(mag, 0) * phase
+		ne0 = m.vZero()
+		ne1 = m.vEdge(complex(e1.w.Abs()/mag, 0), e1.n)
+	}
+	key := refVKey{v: v, w0: ne0.w, w1: ne1.w, n0: ne0.n, n1: ne1.n}
+	n, ok := m.vUnique[key]
+	if !ok {
+		n = &refVNode{id: m.newID(), v: v, e: [2]refVEdge{ne0, ne1}}
+		m.vUnique[key] = n
+	}
+	return refVEdge{w: m.cn.Lookup(factor), n: n}
+}
+
+func (m *refManager) makeMNode(v int32, e [4]refMEdge) refMEdge {
+	allZero := true
+	maxIdx := -1
+	maxMag := 0.0
+	for i := range e {
+		if e[i].w != m.cn.Zero {
+			allZero = false
+			if mag := e[i].w.Abs(); mag > maxMag {
+				maxMag = mag
+				maxIdx = i
+			}
+		}
+	}
+	if allZero {
+		return m.mZero()
+	}
+	factor := e[maxIdx].w.Complex()
+	var ne [4]refMEdge
+	var key refMKey
+	key.v = v
+	for i := range e {
+		if e[i].w == m.cn.Zero {
+			ne[i] = m.mZero()
+		} else if i == maxIdx {
+			ne[i] = refMEdge{w: m.cn.One, n: e[i].n}
+		} else {
+			ne[i] = m.mEdge(e[i].w.Complex()/factor, e[i].n)
+		}
+		key.w[i] = ne[i].w
+		key.n[i] = ne[i].n
+	}
+	n, ok := m.mUnique[key]
+	if !ok {
+		n = &refMNode{id: m.newID(), v: v, e: ne}
+		m.mUnique[key] = n
+	}
+	return refMEdge{w: m.cn.Lookup(factor), n: n}
+}
+
+func (m *refManager) basisState(n int, bits uint64) refVEdge {
+	e := refVEdge{w: m.cn.One, n: m.vTerminal}
+	for q := 0; q < n; q++ {
+		if bits>>uint(q)&1 == 0 {
+			e = m.makeVNode(int32(q), e, m.vZero())
+		} else {
+			e = m.makeVNode(int32(q), m.vZero(), e)
+		}
+	}
+	return e
+}
+
+func (m *refManager) add(a, b refVEdge) refVEdge {
+	if a.w == m.cn.Zero {
+		return b
+	}
+	if b.w == m.cn.Zero {
+		return a
+	}
+	if a.n == b.n {
+		return m.vEdge(a.w.Complex()+b.w.Complex(), a.n)
+	}
+	if a.n.v == TerminalVar {
+		return m.vEdge(a.w.Complex()+b.w.Complex(), m.vTerminal)
+	}
+	if a.n.id > b.n.id {
+		a, b = b, a
+	}
+	ratio := b.w.Complex() / a.w.Complex()
+	key := refAddKey{a: a.n, b: b.n, r: m.cn.Lookup(ratio)}
+	if res, ok := m.addCache[key]; ok {
+		return m.scaleV(res, a.w.Complex())
+	}
+	var children [2]refVEdge
+	for i := 0; i < 2; i++ {
+		children[i] = m.add(a.n.e[i], m.scaleV(b.n.e[i], ratio))
+	}
+	res := m.makeVNode(a.n.v, children[0], children[1])
+	m.addCache[key] = res
+	return m.scaleV(res, a.w.Complex())
+}
+
+func (m *refManager) mulVec(op refMEdge, v refVEdge) refVEdge {
+	if op.w == m.cn.Zero || v.w == m.cn.Zero {
+		return m.vZero()
+	}
+	res := m.mulVecNodes(op.n, v.n)
+	return m.scaleV(res, op.w.Complex()*v.w.Complex())
+}
+
+func (m *refManager) mulVecNodes(mn *refMNode, vn *refVNode) refVEdge {
+	if mn.v == TerminalVar {
+		return refVEdge{w: m.cn.One, n: m.vTerminal}
+	}
+	key := refMulKey{m: mn, v: vn}
+	if res, ok := m.mulCache[key]; ok {
+		return res
+	}
+	var children [2]refVEdge
+	for r := 0; r < 2; r++ {
+		p0 := m.mulVec(mn.e[2*r+0], vn.e[0])
+		p1 := m.mulVec(mn.e[2*r+1], vn.e[1])
+		children[r] = m.add(p0, p1)
+	}
+	res := m.makeVNode(mn.v, children[0], children[1])
+	m.mulCache[key] = res
+	return res
+}
+
+func (m *refManager) identity(n int) refMEdge {
+	for len(m.idChain) <= n {
+		k := len(m.idChain) - 1
+		prev := m.idChain[k]
+		next := m.makeMNode(int32(k), [4]refMEdge{prev, m.mZero(), m.mZero(), prev})
+		m.idChain = append(m.idChain, next)
+	}
+	return m.idChain[n]
+}
+
+func (m *refManager) makeGateDD(n int, u [4]complex128, target int, controls ...Control) refMEdge {
+	ctrl := make(map[int]bool, len(controls))
+	for _, c := range controls {
+		ctrl[c.Qubit] = c.Positive
+	}
+	em := [4]refMEdge{
+		m.mEdge(u[0], m.mTerminal),
+		m.mEdge(u[1], m.mTerminal),
+		m.mEdge(u[2], m.mTerminal),
+		m.mEdge(u[3], m.mTerminal),
+	}
+	zero := m.mZero()
+	for q := 0; q < target; q++ {
+		idBelow := m.identity(q)
+		if positive, isCtrl := ctrl[q]; isCtrl {
+			for i := 0; i < 4; i++ {
+				diag := i == 0 || i == 3
+				idPart := zero
+				if diag {
+					idPart = idBelow
+				}
+				if positive {
+					em[i] = m.makeMNode(int32(q), [4]refMEdge{idPart, zero, zero, em[i]})
+				} else {
+					em[i] = m.makeMNode(int32(q), [4]refMEdge{em[i], zero, zero, idPart})
+				}
+			}
+		} else {
+			for i := 0; i < 4; i++ {
+				em[i] = m.makeMNode(int32(q), [4]refMEdge{em[i], zero, zero, em[i]})
+			}
+		}
+	}
+	e := m.makeMNode(int32(target), em)
+	for q := target + 1; q < n; q++ {
+		idBelow := m.identity(q)
+		if positive, isCtrl := ctrl[q]; isCtrl {
+			if positive {
+				e = m.makeMNode(int32(q), [4]refMEdge{idBelow, zero, zero, e})
+			} else {
+				e = m.makeMNode(int32(q), [4]refMEdge{e, zero, zero, idBelow})
+			}
+		} else {
+			e = m.makeMNode(int32(q), [4]refMEdge{e, zero, zero, e})
+		}
+	}
+	return e
+}
+
+func (m *refManager) normalizeRoot(e refVEdge) refVEdge {
+	if e.w == m.cn.Zero {
+		return e
+	}
+	mag := e.w.Abs()
+	if mag == 0 {
+		return m.vZero()
+	}
+	return m.vEdge(e.w.Complex()/complex(mag, 0), e.n)
+}
+
+func (m *refManager) toVector(e refVEdge, n int) []complex128 {
+	out := make([]complex128, 1<<uint(n))
+	var fill func(w complex128, node *refVNode, level int, base uint64)
+	fill = func(w complex128, node *refVNode, level int, base uint64) {
+		if w == 0 {
+			return
+		}
+		if level < 0 {
+			out[base] = w
+			return
+		}
+		fill(w*node.e[0].w.Complex(), node.e[0].n, level-1, base)
+		fill(w*node.e[1].w.Complex(), node.e[1].n, level-1, base|1<<uint(level))
+	}
+	fill(e.w.Complex(), e.n, n-1, 0)
+	return out
+}
+
+func (m *refManager) countNodes(e refVEdge) int {
+	seen := make(map[*refVNode]struct{})
+	var walk func(n *refVNode)
+	walk = func(n *refVNode) {
+		if n == nil || n.v == TerminalVar {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		walk(n.e[0].n)
+		walk(n.e[1].n)
+	}
+	walk(e.n)
+	return len(seen)
+}
+
+// refGate is one gate of a generated random circuit.
+type refGate struct {
+	u      [4]complex128
+	target int
+	ctrl   []Control
+}
+
+func randomCircuitGates(rng *rand.Rand, n, count int) []refGate {
+	gateH := [4]complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}
+	gates := make([]refGate, count)
+	for i := range gates {
+		switch rng.Intn(4) {
+		case 0:
+			gates[i] = refGate{u: gateH, target: rng.Intn(n)}
+		case 1:
+			theta := 2 * math.Pi * rng.Float64()
+			gates[i] = refGate{
+				u:      [4]complex128{1, 0, 0, cmplx.Exp(complex(0, theta))},
+				target: rng.Intn(n),
+			}
+		case 2:
+			theta := 2 * math.Pi * rng.Float64()
+			c, s := math.Cos(theta/2), math.Sin(theta/2)
+			gates[i] = refGate{
+				u:      [4]complex128{complex(c, 0), complex(0, -s), complex(0, -s), complex(c, 0)},
+				target: rng.Intn(n),
+			}
+		default:
+			t := rng.Intn(n)
+			c := rng.Intn(n - 1)
+			if c >= t {
+				c++
+			}
+			gates[i] = refGate{u: [4]complex128{0, 1, 1, 0}, target: t, ctrl: []Control{PosControl(c)}}
+		}
+	}
+	return gates
+}
+
+// assertStructureIsomorphic walks both DDs in lockstep, asserting the same
+// shape: matching variables, matching zero/terminal children, and child
+// weights equal within the interning tolerance (the two managers intern
+// independently, so a weight's canonical representative can differ by tol).
+func assertStructureIsomorphic(t *testing.T, got VEdge, want refVEdge, cn *cnum.Table) {
+	t.Helper()
+	const tol = 1e-9
+	seen := make(map[*VNode]*refVNode)
+	var walk func(g *VNode, w *refVNode, path string)
+	walk = func(g *VNode, w *refVNode, path string) {
+		if g.IsTerminal() != (w.v == TerminalVar) {
+			t.Fatalf("%s: terminal mismatch", path)
+		}
+		if g.IsTerminal() {
+			return
+		}
+		if g.Var != w.v {
+			t.Fatalf("%s: var %d != reference %d", path, g.Var, w.v)
+		}
+		if prev, ok := seen[g]; ok {
+			if prev != w {
+				t.Fatalf("%s: sharing mismatch: node visited with two reference identities", path)
+			}
+			return
+		}
+		seen[g] = w
+		for c := 0; c < 2; c++ {
+			gw, ww := g.E[c].W.Complex(), w.e[c].w.Complex()
+			if cmplx.Abs(gw-ww) > tol {
+				t.Fatalf("%s child %d: weight %v != reference %v", path, c, gw, ww)
+			}
+			gz := g.E[c].W == cn.Zero
+			wz := w.e[c].w.Abs2() == 0
+			if gz != wz {
+				t.Fatalf("%s child %d: zero-edge mismatch", path, c)
+			}
+			if !gz {
+				walk(g.E[c].N, w.e[c].n, fmt.Sprintf("%s/%d", path, c))
+			}
+		}
+	}
+	if cmplx.Abs(got.W.Complex()-want.w.Complex()) > tol {
+		t.Fatalf("root weight %v != reference %v", got.W.Complex(), want.w.Complex())
+	}
+	walk(got.N, want.n, "root")
+}
+
+// TestDifferentialAgainstMapReference drives random circuits through the
+// production tables and the retained map-based reference, asserting equal
+// node counts, isomorphic structure, and matching amplitudes after every
+// few gates and at the end.
+func TestDifferentialAgainstMapReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(4) // 3..6 qubits
+			gates := randomCircuitGates(rng, n, 40)
+
+			m := New()
+			ref := newRefManager()
+			state := m.BasisState(n, 0)
+			refState := ref.basisState(n, 0)
+
+			check := func(step int) {
+				t.Helper()
+				if got, want := CountVNodes(state), ref.countNodes(refState); got != want {
+					t.Fatalf("step %d: node count %d != reference %d", step, got, want)
+				}
+				assertStructureIsomorphic(t, state, refState, m.CN)
+				got := m.ToVector(state, n)
+				want := ref.toVector(refState, n)
+				for i := range got {
+					if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+						t.Fatalf("step %d: amplitude[%d] %v != reference %v", step, i, got[i], want[i])
+					}
+				}
+			}
+
+			for i, g := range gates {
+				op := m.MakeGateDD(n, g.u, g.target, g.ctrl...)
+				state = m.MulVec(op, state)
+				state = m.NormalizeRootWeight(state)
+
+				refOp := ref.makeGateDD(n, g.u, g.target, g.ctrl...)
+				refState = ref.mulVec(refOp, refState)
+				refState = ref.normalizeRoot(refState)
+
+				if i%10 == 9 {
+					check(i)
+				}
+			}
+			check(len(gates))
+
+			// A Cleanup keeping only the final state must not change it:
+			// re-check structure and amplitudes after the sweep, and again
+			// after more gates run on the recycled pool.
+			m.Cleanup([]VEdge{state}, nil)
+			check(len(gates))
+			for i, g := range gates[:10] {
+				op := m.MakeGateDD(n, g.u, g.target, g.ctrl...)
+				state = m.MulVec(op, state)
+				state = m.NormalizeRootWeight(state)
+				refOp := ref.makeGateDD(n, g.u, g.target, g.ctrl...)
+				refState = ref.mulVec(refOp, refState)
+				refState = ref.normalizeRoot(refState)
+				_ = i
+			}
+			check(len(gates) + 10)
+		})
+	}
+}

@@ -35,6 +35,9 @@ func RunAndCompare(c *circuit.Circuit, opts Options) (*Comparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: exact reference run: %w", err)
 	}
+	// The approximate run shares the manager: keep the exact final state
+	// out of the node pool's reach while it executes.
+	opts.KeepAlive = append(opts.KeepAlive, exact.Final)
 	approx, err := s.Run(c, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: approximate run: %w", err)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/dd"
 )
 
 // NoiseModel configures Monte-Carlo Pauli noise for trajectory simulation.
@@ -65,7 +66,9 @@ func TrajectoryFidelity(c *circuit.Circuit, noise NoiseModel, trajectories int) 
 	for k := 0; k < trajectories; k++ {
 		tn := noise
 		tn.Seed = noise.Seed + int64(k)*7919
-		res, _, err := s.RunTrajectory(c, Options{}, tn)
+		// Trajectories share the ideal run's manager: the ideal final state
+		// must survive each trajectory's node-pool sweeps.
+		res, _, err := s.RunTrajectory(c, Options{KeepAlive: []dd.VEdge{ideal.Final}}, tn)
 		if err != nil {
 			return 0, err
 		}

@@ -31,8 +31,10 @@ type Options struct {
 	// CollectSizeHistory records the DD size after every gate (costs memory
 	// but no extra time; sizes are computed anyway).
 	CollectSizeHistory bool
-	// CleanupHighWater is the unique-table occupancy that triggers a
-	// reachability sweep; 0 selects a sensible default.
+	// CleanupHighWater is the live-node pool occupancy (across both node
+	// kinds) that triggers a mark-sweep Cleanup, returning dead nodes to
+	// the manager's pools for recycling; 0 selects a sensible default. The
+	// threshold adapts upward when a sweep leaves the pool mostly live.
 	CleanupHighWater int
 	// Deadline aborts the run with ErrDeadlineExceeded once exceeded
 	// (checked between gates), mirroring the paper's 3 h timeout column.
@@ -45,6 +47,12 @@ type Options struct {
 	// MeasurementSeed seeds the RNG used by mid-circuit measurement and
 	// reset gates (deterministic per seed).
 	MeasurementSeed int64
+	// KeepAlive lists state edges from earlier runs on the same manager
+	// that must survive this run's Cleanup sweeps (the node pool recycles
+	// anything not reachable from a root). RunAndCompare and the Table I
+	// true-fidelity column use this to keep the exact reference state valid
+	// while the approximate run executes.
+	KeepAlive []dd.VEdge
 }
 
 // Measurement records one mid-circuit measurement outcome.
@@ -91,10 +99,35 @@ type Result struct {
 	Runtime time.Duration
 	// StrategyName identifies the approximation strategy used.
 	StrategyName string
-	// Cleanups counts unique-table reachability sweeps.
+	// Cleanups counts mark-sweep node-pool collections.
 	Cleanups int
 	// Measurements lists mid-circuit measurement outcomes in gate order.
 	Measurements []Measurement
+	// DDStats snapshots the manager's memory-system counters (unique-table
+	// sizes, node pool traffic, per-cache hits/misses/evictions) at the end
+	// of the run. With a shared manager the counters span its lifetime, not
+	// just this run.
+	DDStats dd.Stats
+	// WeightTable reports complex-weight-table pressure over this run, so
+	// long sweeps can spot unbounded interning growth.
+	WeightTable WeightTableStats
+}
+
+// WeightTableStats describes cnum.Table pressure during one simulation run.
+type WeightTableStats struct {
+	// Peak is the table's lifetime high-water interned-value count as of
+	// the end of the run (per-run when the manager is fresh).
+	Peak int
+	// Lookups and Hits count table probes during this run only.
+	Lookups, Hits int64
+}
+
+// HitRatio returns Hits/Lookups, or 0 when the table was never probed.
+func (w WeightTableStats) HitRatio() float64 {
+	if w.Lookups == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(w.Lookups)
 }
 
 // Simulator runs circuits on a dedicated DD manager. A simulator can run
@@ -106,6 +139,12 @@ type Simulator struct {
 
 // New returns a Simulator with a fresh manager.
 func New() *Simulator { return &Simulator{M: dd.New()} }
+
+// Recycle sweeps the manager's node pools with no roots, returning every
+// node built by previous runs to the free lists for reuse. Edges from
+// earlier Results (including Result.Final) become invalid; the batch engine
+// calls this between jobs when managers are reused.
+func (s *Simulator) Recycle() { s.M.Cleanup(nil, nil) }
 
 // Run simulates the circuit under the given options.
 func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
@@ -124,6 +163,7 @@ func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
 	}
 
 	m := s.M
+	startLookups, startHits := m.CN.Stats()
 	state := m.BasisState(n, opts.InitialState)
 	tracker := core.NewFidelityTracker()
 	res := &Result{
@@ -191,22 +231,31 @@ func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
 			tracker.Record(*round)
 			state = newState
 		}
-		if m.UniqueTableSize() > highWater {
-			roots := []dd.VEdge{state}
+		if m.Pool().Live > highWater {
+			roots := append([]dd.VEdge{state}, opts.KeepAlive...)
 			mRoots := make([]dd.MEdge, 0, len(gateCache))
 			for _, e := range gateCache {
 				mRoots = append(mRoots, e)
 			}
 			m.Cleanup(roots, mRoots)
 			res.Cleanups++
-			if 4*m.UniqueTableSize() > highWater {
-				highWater = 4 * m.UniqueTableSize()
+			// If the sweep freed little, most of the pool is genuinely
+			// live: raise the trigger so we don't sweep every gate.
+			if live := m.Pool().Live; 4*live > highWater {
+				highWater = 4 * live
 			}
 		}
 	}
 
 	res.Final = state
 	res.FinalDDSize = dd.CountVNodes(state)
+	res.DDStats = m.Stats()
+	endLookups, endHits := m.CN.Stats()
+	res.WeightTable = WeightTableStats{
+		Peak:    m.CN.Peak(),
+		Lookups: endLookups - startLookups,
+		Hits:    endHits - startHits,
+	}
 	res.Rounds = tracker.Rounds()
 	res.EstimatedFidelity = tracker.Achieved()
 	res.FidelityBound = tracker.Bound()

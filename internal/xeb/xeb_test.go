@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dd"
 	"repro/internal/sim"
 	"repro/internal/supremacy"
 )
@@ -64,7 +65,9 @@ func TestXEBTracksApproximationFidelity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := s.Run(c, sim.Options{Strategy: strat})
+	// The approximate run shares the manager: keep the exact final state
+	// out of the node pool's reach while it executes.
+	approx, err := s.Run(c, sim.Options{Strategy: strat, KeepAlive: []dd.VEdge{exact.Final}})
 	if err != nil {
 		t.Fatal(err)
 	}
