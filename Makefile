@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet doc-lint simd-smoke ci
 
 all: build
 
@@ -47,5 +47,29 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+## doc-lint: fail when any package lacks a doc.go package comment, so
+## `go doc` stays useful everywhere (the CI gate)
+doc-lint:
+	@fail=0; \
+	for d in . $$(find internal -mindepth 1 -maxdepth 1 -type d | sort); do \
+		if ! grep -qs '^// Package ' "$$d/doc.go"; then \
+			echo "doc-lint: $$d/doc.go missing or lacks a '// Package ...' comment"; \
+			fail=1; \
+		fi; \
+	done; \
+	for f in cmd/*/main.go; do \
+		if ! head -1 "$$f" | grep -q '^// Command '; then \
+			echo "doc-lint: $$f lacks a '// Command ...' comment"; \
+			fail=1; \
+		fi; \
+	done; \
+	if [ "$$fail" -ne 0 ]; then exit 1; fi; \
+	echo "doc-lint: all packages and commands documented"
+
+## simd-smoke: build the simulation service, boot it, and run a QASM job
+## end-to-end including a cache-hit resubmission (the CI gate)
+simd-smoke:
+	sh scripts/simd_smoke.sh
+
 ## ci: everything the pipeline runs, in order
-ci: fmt-check vet build race
+ci: fmt-check vet doc-lint build race simd-smoke

@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/benchtab"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/opt"
 	"repro/internal/qasm"
+	"repro/internal/serve"
 	"repro/internal/shor"
 	"repro/internal/sim"
 	"repro/internal/supremacy"
@@ -95,6 +97,39 @@ type (
 	// BatchResult aggregates a finished batch.
 	BatchResult = batch.Result
 )
+
+// Simulation service (the asynchronous HTTP/JSON frontend of internal/serve,
+// served standalone by cmd/simd).
+type (
+	// Server is the embeddable simulation service: an HTTP handler backed
+	// by a batch worker pool and a content-addressed result cache.
+	Server = serve.Server
+	// ServeConfig sizes a Server (workers, queue depth, cache entries,
+	// default timeout, request limits).
+	ServeConfig = serve.Config
+	// ServeJobRequest is the POST /v1/jobs submission body.
+	ServeJobRequest = serve.JobRequest
+	// ServeJobStatus is the per-job API envelope.
+	ServeJobStatus = serve.JobStatus
+	// ServeResult is the JSON payload of a finished job.
+	ServeResult = serve.ResultPayload
+	// ServeStats is the GET /v1/stats body (cache, pool, DD counters).
+	ServeStats = serve.Stats
+	// ServePool is the worker-pool occupancy snapshot inside ServeStats.
+	ServePool = batch.PoolState
+)
+
+// NewServer returns a running simulation service; mount it with
+// Server.Handler (it also implements http.Handler directly) and stop it
+// with Server.Shutdown.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Serve listens on addr and serves the simulation API until ctx is
+// canceled, then shuts down gracefully, giving in-flight jobs the grace
+// period before canceling them (0 waits indefinitely).
+func Serve(ctx context.Context, addr string, cfg ServeConfig, grace time.Duration) error {
+	return serve.Serve(ctx, addr, cfg, grace)
+}
 
 // BatchRun fans independent simulation jobs out across a worker pool, one
 // DD manager per worker, with deterministic per-job seeding derived from

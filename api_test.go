@@ -5,10 +5,15 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -172,6 +177,121 @@ func TestFacadeGenerators(t *testing.T) {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
+}
+
+// Example_quickstart simulates a Bell state exactly and reads measurement
+// probabilities off the final decision diagram.
+func Example_quickstart() {
+	c := repro.NewCircuit(2, "bell")
+	c.H(1)
+	c.CX(1, 0)
+	s := repro.NewSimulator()
+	res, err := s.Run(c, repro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for idx := uint64(0); idx < 4; idx++ {
+		fmt.Printf("P(|%02b>) = %.2f\n", idx, s.M.Probability(res.Final, idx, 2))
+	}
+	// Output:
+	// P(|00>) = 0.50
+	// P(|01>) = 0.00
+	// P(|10>) = 0.00
+	// P(|11>) = 0.50
+}
+
+// Example_fidelityDriven runs the paper's proactive strategy: plan
+// ⌊log_fround(f_final)⌋ approximation rounds up front and guarantee the
+// final fidelity stays above f_final.
+func Example_fidelityDriven() {
+	strategy := repro.NewFidelityDriven(0.75, 0.9) // f_final, f_round
+	fmt.Println("planned rounds:", strategy.MaxRounds())
+
+	c := repro.RandomCliffordTCircuit(10, 300, 1)
+	cmp, err := repro.RunAndCompare(c, repro.Options{Strategy: strategy})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bound respects request:", cmp.Approx.FidelityBound >= 0.75-1e-9)
+	fmt.Println("true fidelity above bound:", cmp.TrueFidelity >= cmp.Approx.FidelityBound-1e-9)
+	// Output:
+	// planned rounds: 2
+	// bound respects request: true
+	// true fidelity above bound: true
+}
+
+// Example_qasmRoundTrip exports a circuit to OpenQASM 2.0, parses it back,
+// and checks equivalence with decision diagrams (V†·U ≟ λ·I).
+func Example_qasmRoundTrip() {
+	ghz := repro.GHZCircuit(4)
+	src, err := repro.ExportQASM(ghz)
+	if err != nil {
+		panic(err)
+	}
+	prog, err := repro.ParseQASM(src, "ghz-again")
+	if err != nil {
+		panic(err)
+	}
+	eq, err := repro.CircuitsEquivalent(ghz, prog.Circuit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round trip equivalent:", eq.Equivalent)
+	// Output:
+	// round trip equivalent: true
+}
+
+// ExampleNewServer embeds the simulation service in-process: submit a
+// circuit, poll until done, and observe the content-addressed cache
+// deduplicating a repeated submission.
+func ExampleNewServer() {
+	srv := repro.NewServer(repro.ServeConfig{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	}()
+
+	submit := func() repro.ServeJobStatus {
+		body := strings.NewReader(`{
+			"name": "bell", "qubits": 2, "seed": 11, "shots": 100,
+			"gates": [{"name": "h", "target": 1},
+			          {"name": "x", "target": 0, "controls": [1]}]
+		}`)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", body)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var st repro.ServeJobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			panic(err)
+		}
+		return st
+	}
+
+	first := submit()
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + first.ID)
+		if err != nil {
+			panic(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&first)
+		resp.Body.Close()
+		if first.Status != "queued" && first.Status != "running" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var res repro.ServeResult
+	json.Unmarshal(first.Result, &res)
+	fmt.Println("first:", first.Status, "cached:", first.Cached, "qubits:", res.NumQubits)
+
+	second := submit()
+	fmt.Println("second:", second.Status, "cached:", second.Cached)
+	// Output:
+	// first: done cached: false qubits: 2
+	// second: done cached: true
 }
 
 func TestFacadeBatchRun(t *testing.T) {

@@ -12,6 +12,10 @@
 //	                           # hits/misses/evictions, pool and weight-table
 //	                           # pressure) from a representative run
 //	experiments -reuse         # recycle pooled DD memory across sweep jobs
+//	experiments -seed 42       # pin per-job measurement seeds
+//
+// The report header carries the resolved worker count and seed, so every
+// published number is reproducible from the report itself.
 package main
 
 import (
@@ -34,11 +38,14 @@ func main() {
 	parallel := flag.Int("parallel", 1, "simulation workers for Table I and the sweeps (0 = one per CPU)")
 	verbose := flag.Bool("verbose", false, "append DD memory-system statistics (per-cache hits/misses/evictions, node pool, weight table)")
 	reuse := flag.Bool("reuse", false, "keep one DD manager per worker across sweep jobs, recycling pooled node memory (drops bit-reproducibility across worker counts)")
+	seed := flag.Int64("seed", 0, "base seed for per-job measurement seeds")
 	flag.Parse()
 	workers := benchtab.Workers(*parallel)
-	runOpts := benchtab.RunOptions{Parallel: workers, Reuse: *reuse}
+	runOpts := benchtab.RunOptions{Parallel: workers, Reuse: *reuse, BaseSeed: *seed}
 
-	fmt.Printf("# Experiment report (%s scale)\n\n", *scale)
+	// The header carries the resolved worker count and seed so every number
+	// in a published report is reproducible from the report itself.
+	fmt.Printf("# Experiment report (%s scale, workers=%d, seed=%d)\n\n", *scale, workers, *seed)
 
 	report("E3/E7 — paper figures and worked examples", paperExamples)
 	report("E1/E2 — Table I", func() error { return table1(*scale, runOpts) })

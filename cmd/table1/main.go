@@ -8,10 +8,13 @@
 //	table1 -part mem|fid|all       # which half of the table
 //	table1 -parallel 8             # fan simulations out across 8 workers
 //	table1 -parallel 0             # one worker per CPU
+//	table1 -seed 42                # pin per-job measurement seeds
 //	table1 -csv                    # CSV instead of markdown
 //
 // The -parallel flag changes only the wall-clock time: rows are identical
-// to the serial run apart from the timing columns.
+// to the serial run apart from the timing columns. The resolved worker
+// count and seed are echoed in the header (and to stderr), so published
+// tables are reproducible from their own logs.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	part := flag.String("part", "all", "table half: mem, fid, or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	parallel := flag.Int("parallel", 1, "simulation workers (0 = one per CPU)")
+	seed := flag.Int64("seed", 0, "base seed for per-job measurement seeds")
 	flag.Parse()
 
 	suite, err := benchtab.NewSuite(*scale)
@@ -41,6 +45,7 @@ func main() {
 	ctx := context.Background()
 	opts := benchtab.RunOptions{
 		Parallel: benchtab.Workers(*parallel),
+		BaseSeed: *seed,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
 			if done == total {
@@ -48,6 +53,10 @@ func main() {
 			}
 		},
 	}
+	// Echo the resolved configuration so published numbers are reproducible
+	// from their own logs.
+	fmt.Fprintf(os.Stderr, "table1: scale=%s workers=%d seed=%d\n",
+		suite.Name, opts.Parallel, opts.BaseSeed)
 
 	var rows []benchtab.Row
 	if *part == "mem" || *part == "all" {
@@ -75,7 +84,8 @@ func main() {
 	if *csv {
 		fmt.Print(benchtab.FormatCSV(rows))
 	} else {
-		fmt.Printf("Table I (%s preset)\n\n%s", suite.Name, benchtab.FormatMarkdown(rows))
+		fmt.Printf("Table I (%s preset, workers=%d, seed=%d)\n\n%s",
+			suite.Name, opts.Parallel, opts.BaseSeed, benchtab.FormatMarkdown(rows))
 	}
 }
 

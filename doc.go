@@ -35,6 +35,15 @@
 // RunFidelityDrivenBatch and the benchtab sweep drivers; the table1 and
 // experiments commands expose it as -parallel N.
 //
+// Simulation as a service: NewServer (and the standalone simd command)
+// wraps the batch engine in an asynchronous HTTP/JSON API — submit circuits
+// (OpenQASM 2.0 or inline gate lists) with per-job approximation strategy,
+// shots, seed, and deadline; poll status; fetch results; cancel. Identical
+// submissions are deduplicated through a content-addressed LRU result cache
+// keyed on the canonical circuit+options hash, with hit/miss counters on
+// /v1/stats. See docs/API.md for the endpoint reference and
+// docs/ARCHITECTURE.md for how the layers stack.
+//
 // Memory system: the DD substrate interns nodes in per-variable hashed
 // unique tables with intrusive bucket chains, serves node allocations from
 // pooled chunks with free-list recycling, and runs bounded power-of-two

@@ -1,26 +1,3 @@
-// Package batch fans independent simulation jobs out across a pool of
-// worker goroutines. Each worker owns one sim.Simulator — DD managers are
-// not goroutine-safe, so a manager is never shared between workers — and
-// jobs are dispatched in index order with results reported in index order.
-//
-// The engine guarantees determinism: a job's outcome depends only on its
-// circuit, its options, and the seed derived from Options.BaseSeed and the
-// job index — never on the worker it lands on or the worker count. By
-// default every job runs on a fresh manager, so node identities, value-table
-// contents, and therefore every reported metric are bit-identical between a
-// serial (one-worker) and a parallel run; only wall-clock timing fields
-// differ. Options.ReuseManagers trades this guarantee for pooled node
-// memory and a warm weight table carried from job to job.
-//
-// Cancellation is cooperative and two-level: the batch context stops
-// dispatch of not-yet-started jobs and aborts in-flight simulations between
-// gates (via sim.Options.Context), and per-job deadlines (Job.Timeout or
-// Options.JobTimeout) bound each simulation individually, mirroring the
-// paper's 3 h timeout column.
-//
-// internal/benchtab builds its hyper-parameter sweeps (E8/E9) and both
-// Table I halves on this engine, and the root package re-exports it as
-// repro.BatchRun.
 package batch
 
 import (
@@ -58,6 +35,15 @@ type Job struct {
 	// Options.JobTimeout. Zero means no per-job override. An explicit
 	// Options.Deadline wins over both.
 	Timeout time.Duration
+	// Finalize, when non-nil, runs on the worker goroutine immediately
+	// after the simulation finishes (on success and on failure alike),
+	// while the worker's DD manager is still exclusively owned by this job.
+	// This is the only safe place to post-process a result when managers
+	// are reused: r.Result.Manager (when r.Result is non-nil) is valid for
+	// sampling or fidelity computations here, but may be recycled as soon
+	// as Finalize returns. Mutations to r are reflected in the reported
+	// JobResult.
+	Finalize func(r *JobResult)
 }
 
 // JobResult is the outcome of one job.
@@ -238,8 +224,11 @@ dispatch:
 
 // runJob executes one job on the worker's simulator (or a fresh one when
 // managers are not reused).
-func runJob(ctx context.Context, worker, idx int, job Job, opts Options, s *sim.Simulator) JobResult {
-	jr := JobResult{Index: idx, Name: job.Name, Worker: worker}
+func runJob(ctx context.Context, worker, idx int, job Job, opts Options, s *sim.Simulator) (jr JobResult) {
+	if job.Finalize != nil {
+		defer func() { job.Finalize(&jr) }()
+	}
+	jr = JobResult{Index: idx, Name: job.Name, Worker: worker}
 	if err := context.Cause(ctx); err != nil {
 		jr.Err = err
 		return jr

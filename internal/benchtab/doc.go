@@ -1,0 +1,20 @@
+// Package benchtab regenerates Table I of the paper: the memory-driven
+// validation on quantum-supremacy circuits and the fidelity-driven
+// validation on Shor's algorithm, each against the exact (non-approximating)
+// simulation as reference.
+//
+// Presets scale the instances: the `paper` preset reproduces the original
+// workloads verbatim (hours of runtime on a laptop, as in the paper's
+// server experiments); `small` and `medium` keep the generators and
+// hyper-parameter structure but shrink qubit counts so the suite runs in
+// seconds to minutes. The substitution is documented in DESIGN.md.
+//
+// Both halves and the hyper-parameter sweeps (E8: memory-driven threshold,
+// E9: fidelity-driven round trade-off) run on the internal/batch worker
+// pool: every exact reference and approximate configuration is an
+// independent job, so RunOptions.Parallel > 1 fans the table out across
+// CPUs while producing rows identical to the serial path (timing columns
+// aside). RunOptions.BaseSeed pins every measurement seed, so published
+// rows are reproducible from the (preset, workers, seed) triple the
+// table1 and experiments commands print in their headers.
+package benchtab

@@ -1,19 +1,3 @@
-// Package benchtab regenerates Table I of the paper: the memory-driven
-// validation on quantum-supremacy circuits and the fidelity-driven
-// validation on Shor's algorithm, each against the exact (non-approximating)
-// simulation as reference.
-//
-// Presets scale the instances: the `paper` preset reproduces the original
-// workloads verbatim (hours of runtime on a laptop, as in the paper's
-// server experiments); `small` and `medium` keep the generators and
-// hyper-parameter structure but shrink qubit counts so the suite runs in
-// seconds to minutes. The substitution is documented in DESIGN.md.
-//
-// Both halves and the hyper-parameter sweeps run on the internal/batch
-// worker pool: every exact reference and approximate configuration is an
-// independent job, so RunOptions.Parallel > 1 fans the table out across
-// CPUs while producing rows identical to the serial path (timing columns
-// aside).
 package benchtab
 
 import (

@@ -1,0 +1,59 @@
+package circuit
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendCanonical appends a deterministic binary encoding of the circuit's
+// full simulation-relevant content to b and returns the extended slice: the
+// qubit count, every gate (kind, name, parameters as IEEE-754 bits, target,
+// controls with polarity, permutation payload), and the block boundaries
+// (which steer fidelity-driven round placement and therefore change
+// results). The circuit's display Name is deliberately excluded.
+//
+// The encoding is the content-addressing key for the simulation service's
+// result cache: two circuits encode identically iff the simulator treats
+// them identically, regardless of whether they arrived as inline gate lists
+// or as OpenQASM source.
+func (c *Circuit) AppendCanonical(b []byte) []byte {
+	b = appendUvarint(b, uint64(c.NumQubits))
+	b = appendUvarint(b, uint64(len(c.gates)))
+	for _, g := range c.gates {
+		b = appendUvarint(b, uint64(g.Kind))
+		b = appendString(b, g.Name)
+		b = appendUvarint(b, uint64(g.Target))
+		b = appendUvarint(b, uint64(len(g.Params)))
+		for _, p := range g.Params {
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(p))
+		}
+		b = appendUvarint(b, uint64(len(g.Controls)))
+		for _, ctl := range g.Controls {
+			b = appendUvarint(b, uint64(ctl.Qubit))
+			if ctl.Positive {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		b = appendUvarint(b, uint64(g.PermWidth))
+		b = appendUvarint(b, uint64(len(g.Perm)))
+		for _, p := range g.Perm {
+			b = appendUvarint(b, uint64(p))
+		}
+	}
+	b = appendUvarint(b, uint64(len(c.blocks)))
+	for _, blk := range c.blocks {
+		b = appendUvarint(b, uint64(blk))
+	}
+	return b
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}

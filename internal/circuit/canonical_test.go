@@ -1,0 +1,35 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendCanonical(t *testing.T) {
+	build := func(name string, block bool) *Circuit {
+		c := New(3, name)
+		c.H(0)
+		c.CX(0, 1)
+		if block {
+			c.EndBlock()
+		}
+		c.RZ(0.25, 2)
+		return c
+	}
+	a := build("a", false).AppendCanonical(nil)
+	b := build("completely different name", false).AppendCanonical(nil)
+	if !bytes.Equal(a, b) {
+		t.Error("canonical encoding must ignore the display name")
+	}
+	withBlock := build("a", true).AppendCanonical(nil)
+	if bytes.Equal(a, withBlock) {
+		t.Error("block boundaries change round placement and must change the encoding")
+	}
+	other := New(3, "a")
+	other.H(0)
+	other.CX(0, 1)
+	other.RZ(0.5, 2)
+	if bytes.Equal(a, other.AppendCanonical(nil)) {
+		t.Error("different parameters must encode differently")
+	}
+}

@@ -1,12 +1,3 @@
-// Package circuit provides the quantum circuit intermediate representation
-// shared by the generators, the QASM parser, and the simulator.
-//
-// A circuit is a sequence of gates over NumQubits qubits. Two gate kinds
-// exist: standard (controlled) single-qubit unitaries, and (controlled)
-// permutation gates acting on the low qubits of the register — the latter
-// realize Shor's modular multiplications the way the paper's simulator does.
-// Block boundaries mark positions between the algorithm's logical blocks
-// (Fig. 2) and steer the fidelity-driven placement of approximation rounds.
 package circuit
 
 import (

@@ -1,0 +1,17 @@
+// Package circuit provides the quantum circuit intermediate representation
+// shared by the generators, the QASM parser, the optimizer, and the
+// simulator.
+//
+// A circuit is a sequence of gates over NumQubits qubits. Two gate kinds
+// exist: standard (controlled) single-qubit unitaries, and (controlled)
+// permutation gates acting on the low qubits of the register — the latter
+// realize Shor's modular multiplications the way the paper's simulator
+// does. Mid-circuit measurement and reset are represented as pseudo-gates.
+// Block boundaries mark positions between the algorithm's logical blocks
+// (Fig. 2) and steer the fidelity-driven placement of approximation rounds.
+//
+// AppendCanonical encodes everything simulation-relevant — gates,
+// parameters, controls, permutation payloads, block boundaries — into a
+// deterministic byte string, which the simulation service hashes to
+// content-address its result cache.
+package circuit

@@ -1,0 +1,18 @@
+// Package cnum provides an interning table for complex edge weights used by
+// decision diagrams.
+//
+// Decision-diagram canonicity requires that numerically equal (within a
+// tolerance) complex values are represented by the same object, so that node
+// equality can be decided by pointer comparison. The design follows the
+// complex-number tables of Zulehner, Hillmich, and Wille ("How to efficiently
+// handle complex values? Implementing decision diagrams for quantum
+// computing", ICCAD 2019): values are bucketed on a tolerance grid and looked
+// up before insertion.
+//
+// Every interned Value carries a stable 64-bit hash assigned at interning
+// time (Value.Hash); the dd package combines these with node ids to key its
+// unique tables and compute caches, keeping all hashing independent of
+// pointer values and therefore deterministic across runs. The table also
+// tracks lookup/hit counters and a lifetime peak size (Stats, Peak), which
+// sim surfaces per run as weight-table pressure.
+package cnum

@@ -1,13 +1,3 @@
-// Package cnum provides an interning table for complex edge weights used by
-// decision diagrams.
-//
-// Decision-diagram canonicity requires that numerically equal (within a
-// tolerance) complex values are represented by the same object, so that node
-// equality can be decided by pointer comparison. The design follows the
-// complex-number tables of Zulehner, Hillmich, and Wille ("How to efficiently
-// handle complex values? Implementing decision diagrams for quantum
-// computing", ICCAD 2019): values are bucketed on a tolerance grid and looked
-// up before insertion.
 package cnum
 
 import (

@@ -1,17 +1,3 @@
-// Package core implements the paper's primary contribution: controlled
-// approximation of decision-diagram quantum states.
-//
-// It provides
-//
-//   - node contribution analysis (Definition 2),
-//   - constructive approximation with a guaranteed fidelity lower bound
-//     (Section IV-A, following Zulehner et al., ASP-DAC 2020 [27]),
-//   - the reactive memory-driven strategy (Section IV-B), and
-//   - the proactive fidelity-driven strategy (Section IV-C),
-//
-// together with the multi-round fidelity accounting justified by Lemma 1
-// (Section V): the end-to-end fidelity is the product of the per-round
-// fidelities.
 package core
 
 import (

@@ -1,0 +1,19 @@
+// Package core implements the paper's primary contribution: controlled
+// approximation of decision-diagram quantum states.
+//
+// It provides
+//
+//   - node contribution analysis (Definition 2),
+//   - constructive approximation with a guaranteed fidelity lower bound
+//     (Section IV-A, following Zulehner et al., ASP-DAC 2020 [27]),
+//   - size-targeted approximation (shrink to at most N nodes, reporting the
+//     fidelity cost),
+//   - the reactive memory-driven strategy (Section IV-B), and
+//   - the proactive fidelity-driven strategy (Section IV-C),
+//
+// together with the multi-round fidelity accounting justified by Lemma 1
+// (Section V): the end-to-end fidelity is the product of the per-round
+// fidelities. Strategies are stateful per run and plug into simulation via
+// sim.Options.Strategy; each run needs a fresh instance (the batch engine's
+// Job.NewStrategy and the serve service construct one per job).
+package core

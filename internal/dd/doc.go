@@ -1,0 +1,33 @@
+// Package dd implements edge-weighted decision diagrams for quantum states
+// (vector DDs) and quantum operations (matrix DDs), in the QMDD style used by
+// the paper's simulator substrate (Zulehner/Wille, "Advanced simulation of
+// quantum computations"; Zulehner/Hillmich/Wille, ICCAD 2019).
+//
+// Conventions:
+//
+//   - Qubit q corresponds to bit q of the basis-state index; the root node of
+//     an n-qubit DD has Var n-1 and the terminal sits below Var 0 (as in
+//     Fig. 1 of the paper, where the root is q2).
+//   - There is no level skipping: every root-to-terminal path visits every
+//     variable. This makes the per-level node-contribution identity of
+//     Definition 2 hold exactly (contributions on each level sum to 1).
+//   - Vector nodes are normalized so |w0|² + |w1|² = 1 and the first
+//     non-zero child weight is real and positive. Matrix nodes are
+//     normalized so the first largest-magnitude weight equals 1.
+//   - Edge weights are interned in a cnum.Table; node identity is pointer
+//     identity maintained through unique tables.
+//
+// Memory system: nodes live in per-manager pools (chunked arrays with free
+// lists) and are interned through per-variable hashed unique tables whose
+// buckets chain nodes intrusively via the node's next pointer. Compute
+// caches (add, madd, mul, mm, ip) are fixed-size power-of-two arrays with
+// overwrite-on-collision eviction and generation-tag invalidation, so
+// ClearCaches is O(1) and cache memory is bounded. Cleanup is a mark-sweep
+// pass: live nodes are stamped with the current GC generation and dead nodes
+// are unlinked from their buckets onto the free lists for recycling. Stats
+// and Pool snapshot the counters (per-cache hits/misses/evictions, node
+// traffic, pool occupancy); the simulation service surfaces them per worker
+// on its /v1/stats endpoint. See docs/ARCHITECTURE.md and the
+// "Architecture: DD memory system" section of the README for the full
+// design.
+package dd

@@ -1,9 +1,3 @@
-// Package dense implements a straightforward dense state-vector simulator.
-//
-// It is the paper's Section III baseline ("a series of matrix-vector
-// multiplications" with 2^n-entry vectors) and doubles as the correctness
-// oracle for the decision-diagram engine: every DD operation is cross-checked
-// against this implementation on small systems.
 package dense
 
 import (

@@ -1,0 +1,15 @@
+// Package gen generates standard quantum circuits used by the examples,
+// tests, benchmarks, and the ddsim command's -gen flag:
+//
+//   - QFT and InverseQFT (the inverse transform ends Shor's order finding,
+//     where the paper places its fidelity-driven approximation rounds),
+//   - GHZ and WState preparation (small entangled states with compact DDs),
+//   - Grover search and BernsteinVazirani (oracle workloads),
+//   - RandomCliffordT, a seeded random {H, S, T, CX} circuit whose DD grows
+//     irregularly — the stress generator used throughout the tests.
+//
+// All generators are deterministic functions of their arguments (seeds
+// included), so generated workloads are reproducible everywhere they are
+// referenced — including inside the simulation service's content-addressed
+// result cache.
+package gen

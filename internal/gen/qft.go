@@ -1,6 +1,3 @@
-// Package gen generates standard quantum circuits used by the examples,
-// tests, and benchmarks: QFT, GHZ/W states, Grover search, Bernstein–Vazirani
-// and random Clifford+T circuits.
 package gen
 
 import (

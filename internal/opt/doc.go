@@ -1,0 +1,14 @@
+// Package opt implements conservative peephole optimization of circuits:
+// cancellation of adjacent inverse pairs, merging of adjacent rotations
+// about the same axis, and removal of identity gates. Such optimizations
+// matter to the paper's workflow in two ways: they are the standard
+// pre-processing before simulation, and — as Section IV-C notes — they can
+// destroy the block structure that guides approximation-round placement,
+// which is why placement falls back to even spacing ("when no such circuit
+// blocks can be identified, e.g., after certain types of circuit
+// optimization").
+//
+// Every rewrite is sound under commutation with qubit-disjoint gates only,
+// so optimized circuits are exactly equivalent (verified in the tests with
+// internal/verify).
+package opt

@@ -1,0 +1,17 @@
+// Package qasm parses a practical subset of OpenQASM 2.0 into the circuit
+// IR, so externally produced benchmark circuits can be simulated, and
+// exports circuits back to OpenQASM source (Export), round-tripping through
+// the same gate set.
+//
+// Supported: OPENQASM/include headers, qreg/creg declarations, the standard
+// gate set (x y z h s sdg t tdg sx id, rx ry rz p u1 u2 u3 u, cx cz cp cu1
+// ccx swap cswap), barrier (mapped to block boundaries, which steer
+// fidelity-driven approximation placement), measure (recorded but not
+// simulated), and constant parameter expressions with pi, + - * /, unary
+// minus and parentheses.
+//
+// This parser is also the simulation service's QASM front door: a POST to
+// /v1/jobs with a qasm body goes through Parse, so service submissions and
+// library callers agree on the IR — and therefore on result-cache content
+// hashes.
+package qasm

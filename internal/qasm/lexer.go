@@ -1,11 +1,3 @@
-// Package qasm parses a practical subset of OpenQASM 2.0 into the circuit
-// IR, so externally produced benchmark circuits can be simulated.
-//
-// Supported: OPENQASM/include headers, qreg/creg declarations, the standard
-// gate set (x y z h s sdg t tdg sx id, rx ry rz p u1 u2 u3 u, cx cz cp cu1
-// ccx swap cswap), barrier (mapped to block boundaries), measure (recorded
-// but not simulated), and constant parameter expressions with pi, + - * /,
-// unary minus and parentheses.
 package qasm
 
 import (

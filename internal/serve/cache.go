@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats reports result-cache effectiveness, surfaced on /v1/stats.
+type CacheStats struct {
+	// Entries and Capacity are the current and maximum entry counts.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Hits, Misses, and Evictions count lookups served from the cache,
+	// lookups that fell through to a fresh simulation, and entries dropped
+	// by the LRU bound.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// resultCache is an LRU map from canonical circuit+options hashes to the
+// exact marshaled result payload served for that submission. Storing the
+// serialized bytes (rather than re-marshaling a struct) makes cache hits
+// byte-identical to the original response.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the payload stored under key and bumps it to most recently
+// used. Every call counts as a hit or a miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).payload, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores payload under key, evicting least-recently-used entries beyond
+// the capacity. Re-putting an existing key refreshes its payload and recency.
+func (c *resultCache) put(key string, payload []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+	for len(c.entries) > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

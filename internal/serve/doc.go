@@ -1,0 +1,34 @@
+// Package serve turns the simulator into an asynchronous HTTP/JSON service:
+// simulation-as-a-service on top of the internal/batch worker pool, so many
+// callers can submit circuits — each with its own accuracy/cost trade-off —
+// against one bounded set of simulation workers.
+//
+// The API (mounted by Server.Handler, served standalone by cmd/simd):
+//
+//	POST   /v1/jobs             submit a circuit (OpenQASM 2.0 source or an
+//	                            inline gate list) with a per-job
+//	                            approximation strategy (exact, memory, or
+//	                            fidelity), threshold/fidelity parameters,
+//	                            shots, seed, and timeout
+//	GET    /v1/jobs             list submissions with their statuses
+//	GET    /v1/jobs/{id}        poll one job (result attached when done)
+//	GET    /v1/jobs/{id}/result fetch the raw result payload
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/stats            cache, pool, and DD memory-system counters
+//	GET    /healthz             liveness probe
+//
+// Results are content-addressed: each submission is hashed over the
+// canonical circuit encoding (circuit.AppendCanonical) plus every
+// result-relevant option, and finished payloads enter a bounded LRU cache.
+// An identical submission — whether it arrives as the same QASM text, as
+// equivalent inline gates, or from a different caller — is answered from
+// the cache byte-for-byte, without occupying a worker. Seedless submissions
+// derive their measurement seed from the content hash itself, so results
+// are reproducible from the request alone, even after cache eviction.
+//
+// Job execution, cancellation, deadlines, and seeding all delegate to
+// batch.Pool; response payloads are assembled in the job's Finalize hook on
+// the worker goroutine, the only point where the final state DD is
+// guaranteed valid when managers are reused. docs/API.md documents every
+// endpoint with request/response examples.
+package serve

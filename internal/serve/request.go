@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/qasm"
+)
+
+// Strategy names accepted in JobRequest.Strategy.
+const (
+	StrategyExact    = "exact"
+	StrategyMemory   = "memory"
+	StrategyFidelity = "fidelity"
+)
+
+// GateSpec is one gate of an inline circuit submission.
+type GateSpec struct {
+	// Name is a gate from the standard set the circuit IR accepts (h, x,
+	// cx via controls, rz, u, ...), or "measure"/"reset".
+	Name string `json:"name"`
+	// Params are the gate's rotation angles, when it takes any.
+	Params []float64 `json:"params,omitempty"`
+	// Target is the target qubit (bit Target of the basis-state index).
+	Target int `json:"target"`
+	// Controls and NegControls list positive and negative control qubits.
+	Controls    []int `json:"controls,omitempty"`
+	NegControls []int `json:"neg_controls,omitempty"`
+}
+
+// JobRequest is the submission body accepted by POST /v1/jobs. Exactly one
+// of QASM or (Qubits, Gates) describes the circuit.
+type JobRequest struct {
+	// Name labels the job in listings; it does not affect results or
+	// caching.
+	Name string `json:"name,omitempty"`
+
+	// QASM is an OpenQASM 2.0 program (barriers become block boundaries).
+	QASM string `json:"qasm,omitempty"`
+	// Qubits and Gates describe an inline circuit.
+	Qubits int        `json:"qubits,omitempty"`
+	Gates  []GateSpec `json:"gates,omitempty"`
+	// Blocks lists gate indices after which a block boundary sits (the
+	// fidelity-driven strategy places approximation rounds at boundaries).
+	Blocks []int `json:"blocks,omitempty"`
+
+	// Strategy selects the approximation mode: "exact" (default),
+	// "memory" (Section IV-B), or "fidelity" (Section IV-C).
+	Strategy string `json:"strategy,omitempty"`
+	// Threshold is the memory-driven initial node-count threshold.
+	Threshold int `json:"threshold,omitempty"`
+	// Growth is the memory-driven threshold multiplier (default 2).
+	Growth float64 `json:"growth,omitempty"`
+	// RoundFidelity is the per-round target fidelity f_round (both
+	// strategies).
+	RoundFidelity float64 `json:"round_fidelity,omitempty"`
+	// FinalFidelity is the fidelity-driven end-to-end lower bound f_final.
+	FinalFidelity float64 `json:"final_fidelity,omitempty"`
+
+	// InitialState selects the starting basis state |InitialState⟩.
+	InitialState uint64 `json:"initial_state,omitempty"`
+	// Shots draws that many samples from the final state (0 = none).
+	Shots int `json:"shots,omitempty"`
+	// Seed seeds mid-circuit measurements and sampling. 0 derives a stable
+	// seed from the submission's content hash, so identical submissions
+	// yield identical samples even across cache evictions.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the simulation in milliseconds; 0 uses the server
+	// default. The timeout does not participate in the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// compiled is a validated submission ready for the pool.
+type compiled struct {
+	req     JobRequest
+	circuit *circuit.Circuit
+	hash    string // hex sha256 over circuit + result-relevant options
+	seed    int64  // resolved measurement/sampling seed (never 0)
+	timeout time.Duration
+}
+
+// compile validates the request against the server limits and resolves the
+// circuit, strategy parameters, content hash, and seed.
+func (s *Server) compile(req JobRequest) (*compiled, error) {
+	var circ *circuit.Circuit
+	switch {
+	case req.QASM != "" && len(req.Gates) > 0:
+		return nil, fmt.Errorf("submission carries both qasm and inline gates; pick one")
+	case req.QASM != "":
+		prog, err := qasm.Parse(req.QASM, req.Name)
+		if err != nil {
+			return nil, fmt.Errorf("qasm: %w", err)
+		}
+		circ = prog.Circuit
+	case len(req.Gates) > 0:
+		var err error
+		if circ, err = buildInline(req); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("submission carries no circuit (set qasm or qubits+gates)")
+	}
+	if max := s.cfg.MaxQubits; max > 0 && circ.NumQubits > max {
+		return nil, fmt.Errorf("circuit has %d qubits, above the server limit of %d", circ.NumQubits, max)
+	}
+	if req.Shots < 0 {
+		return nil, fmt.Errorf("shots %d must be ≥ 0", req.Shots)
+	}
+	if max := s.cfg.MaxShots; max > 0 && req.Shots > max {
+		return nil, fmt.Errorf("shots %d above the server limit of %d", req.Shots, max)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms %d must be ≥ 0", req.TimeoutMS)
+	}
+
+	// Validate strategy parameters up front so submissions fail with a 400
+	// instead of a failed job. The strategies re-validate in Init.
+	switch req.Strategy {
+	case "", StrategyExact:
+	case StrategyMemory:
+		st := &core.MemoryDriven{Threshold: req.Threshold, RoundFidelity: req.RoundFidelity, Growth: req.Growth}
+		if err := st.Init(circ.Len(), circ.Blocks()); err != nil {
+			return nil, err
+		}
+	case StrategyFidelity:
+		st := core.NewFidelityDriven(req.FinalFidelity, req.RoundFidelity)
+		if err := st.Init(circ.Len(), circ.Blocks()); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want exact, memory, or fidelity)", req.Strategy)
+	}
+
+	c := &compiled{req: req, circuit: circ}
+	c.hash = contentHash(circ, normalizeForHash(req))
+	c.seed = req.Seed
+	if c.seed == 0 {
+		c.seed = seedFromHash(c.hash)
+	}
+	c.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if c.timeout == 0 {
+		c.timeout = s.cfg.DefaultJobTimeout
+	}
+	return c, nil
+}
+
+// newStrategy builds a fresh strategy instance for one run (strategies are
+// stateful, so each run needs its own).
+func (c *compiled) newStrategy() core.Strategy {
+	switch c.req.Strategy {
+	case StrategyMemory:
+		return &core.MemoryDriven{
+			Threshold:     c.req.Threshold,
+			RoundFidelity: c.req.RoundFidelity,
+			Growth:        c.req.Growth,
+		}
+	case StrategyFidelity:
+		return core.NewFidelityDriven(c.req.FinalFidelity, c.req.RoundFidelity)
+	default:
+		return core.Exact{}
+	}
+}
+
+func buildInline(req JobRequest) (*circuit.Circuit, error) {
+	if req.Qubits <= 0 {
+		return nil, fmt.Errorf("inline circuit needs qubits ≥ 1, got %d", req.Qubits)
+	}
+	for i, b := range req.Blocks {
+		if b < 0 || b >= len(req.Gates) {
+			return nil, fmt.Errorf("block boundary %d outside gate range [0,%d)", b, len(req.Gates))
+		}
+		if i > 0 && b <= req.Blocks[i-1] {
+			return nil, fmt.Errorf("block boundaries must be strictly increasing")
+		}
+	}
+	c := circuit.New(req.Qubits, req.Name)
+	next := 0
+	for i, g := range req.Gates {
+		if err := appendGate(c, g); err != nil {
+			return nil, fmt.Errorf("gate %d: %w", i, err)
+		}
+		// EndBlock marks a boundary after the most recent gate, so replay
+		// the requested boundaries in step with appending.
+		if next < len(req.Blocks) && req.Blocks[next] == i {
+			c.EndBlock()
+			next++
+		}
+	}
+	return c, nil
+}
+
+func appendGate(c *circuit.Circuit, g GateSpec) (err error) {
+	// The IR panics on out-of-range qubits; surface that as a request error.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	switch g.Name {
+	case "":
+		return fmt.Errorf("missing gate name")
+	case "measure":
+		c.Measure(g.Target)
+		return nil
+	case "reset":
+		c.Reset(g.Target)
+		return nil
+	}
+	controls := make([]dd.Control, 0, len(g.Controls)+len(g.NegControls))
+	for _, q := range g.Controls {
+		controls = append(controls, dd.PosControl(q))
+	}
+	for _, q := range g.NegControls {
+		controls = append(controls, dd.NegControl(q))
+	}
+	// Validate the gate name eagerly: Apply stores it, but an unknown name
+	// would only fail at simulation time.
+	if _, err := circuit.Matrix1Q(g.Name, g.Params); err != nil {
+		return err
+	}
+	c.Apply(g.Name, g.Params, g.Target, controls...)
+	return nil
+}
+
+// normalizeForHash rewrites the request to its canonical form so that
+// semantically identical submissions hash identically: the default strategy
+// spells out as "exact", parameters irrelevant to the selected strategy are
+// zeroed (an exact job with a stray threshold simulates the same), and
+// omitted defaults are filled in (memory-driven growth 0 means 2, exactly
+// as core.MemoryDriven.Init applies it).
+func normalizeForHash(req JobRequest) JobRequest {
+	switch req.Strategy {
+	case "", StrategyExact:
+		req.Strategy = StrategyExact
+		req.Threshold, req.Growth, req.RoundFidelity, req.FinalFidelity = 0, 0, 0, 0
+	case StrategyMemory:
+		if req.Growth == 0 {
+			req.Growth = 2
+		}
+		req.FinalFidelity = 0
+	case StrategyFidelity:
+		req.Threshold, req.Growth = 0, 0
+	}
+	return req
+}
+
+// contentHash is the content-addressing key: sha256 over the canonical
+// circuit encoding plus every result-relevant option (callers pass the
+// request through normalizeForHash first). Job name and timeout are
+// excluded (they cannot change the result payload); an explicit seed is
+// included, while seed 0 hashes as 0 and then derives deterministically from
+// this very hash, so the derived seed never makes identical submissions
+// diverge.
+func contentHash(c *circuit.Circuit, req JobRequest) string {
+	b := make([]byte, 0, 1024)
+	b = append(b, "repro-serve-v1\x00"...)
+	b = c.AppendCanonical(b)
+	b = append(b, req.Strategy...)
+	b = append(b, 0)
+	b = binary.BigEndian.AppendUint64(b, uint64(req.Threshold))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.Growth))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.RoundFidelity))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.FinalFidelity))
+	b = binary.BigEndian.AppendUint64(b, req.InitialState)
+	b = binary.BigEndian.AppendUint64(b, uint64(req.Shots))
+	b = binary.BigEndian.AppendUint64(b, uint64(req.Seed))
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// seedFromHash derives a non-zero measurement seed from the content hash, so
+// seedless submissions are reproducible by content alone.
+func seedFromHash(hash string) int64 {
+	raw, _ := hex.DecodeString(hash[:16])
+	seed := int64(binary.BigEndian.Uint64(raw))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

@@ -1,0 +1,587 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/dd"
+	"repro/internal/sim"
+)
+
+// Job status values reported by the API.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+	StatusDeadline = "deadline_exceeded"
+)
+
+// Config sizes a Server. The zero value selects sensible defaults
+// everywhere: one worker per CPU, a 4×workers submission queue, a
+// 1024-entry result cache, fresh managers per job, and no qubit/shot/time
+// limits.
+type Config struct {
+	// Workers is the simulation worker count (≤ 0 = one per CPU).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; beyond it,
+	// submissions are rejected with 503 so callers can shed load (≤ 0 =
+	// 4×Workers).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (0 = 1024,
+	// negative = caching disabled).
+	CacheEntries int
+	// DefaultJobTimeout bounds jobs that do not set timeout_ms (0 = none).
+	DefaultJobTimeout time.Duration
+	// MaxQubits rejects circuits above this register width (0 = no limit).
+	MaxQubits int
+	// MaxShots rejects submissions requesting more samples (0 = no limit).
+	MaxShots int
+	// MaxBodyBytes bounds the request body (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxJobs bounds the job registry: when more jobs than this are
+	// retained, the oldest finished ones are evicted (their ids start
+	// returning 404; running and queued jobs are never evicted). 0 selects
+	// 4096, negative disables the bound. This keeps a long-running server's
+	// memory proportional to the bound, not to its submission history.
+	MaxJobs int
+	// ReuseManagers keeps one DD manager per worker across jobs (faster
+	// for heavy traffic; amplitudes may differ in low-order digits between
+	// identical uncached submissions, see batch.Options.ReuseManagers).
+	// The default — fresh manager per job — keeps every result exactly
+	// reproducible from the submission content.
+	ReuseManagers bool
+	// BaseSeed participates in derived measurement seeds only through
+	// jobs submitted with an explicit seed of 0 — those derive from the
+	// content hash instead, so this is reserved and currently unused
+	// except as the pool's base seed for defense in depth.
+	BaseSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 4096
+	}
+	if c.MaxJobs < 0 {
+		c.MaxJobs = 0 // unbounded
+	}
+	return c
+}
+
+// Server is an asynchronous simulation-as-a-service frontend over the batch
+// worker pool: submissions become pool jobs, results are retained per job id
+// and deduplicated across identical submissions through a content-addressed
+// LRU cache. Create with New, mount via Handler or ServeHTTP, and stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *batch.Pool
+	cache *resultCache
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*jobState
+	order    []string         // job ids in submission order, for listing
+	workerDD map[int]WorkerDD // last DD-manager snapshot per pool worker
+}
+
+// jobState tracks one submission from POST to result retrieval.
+type jobState struct {
+	id      string
+	name    string
+	hash    string
+	cached  bool
+	created time.Time
+
+	handle *batch.Handle // nil for cache hits
+
+	// done flips once the job reaches a terminal state (set after status
+	// below); the registry's eviction scan reads it without taking mu.
+	done atomic.Bool
+
+	mu      sync.Mutex
+	status  string // terminal status; "" while queued/running
+	errMsg  string
+	payload []byte // marshaled ResultPayload when status == done
+}
+
+// New returns a running Server (its worker pool is live immediately).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		pool: batch.NewPool(batch.PoolOptions{
+			Workers:       cfg.Workers,
+			QueueDepth:    cfg.QueueDepth,
+			BaseSeed:      cfg.BaseSeed,
+			ReuseManagers: cfg.ReuseManagers,
+		}),
+		cache:    newResultCache(cfg.CacheEntries),
+		jobs:     make(map[string]*jobState),
+		workerDD: make(map[int]WorkerDD),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops accepting submissions and drains queued and running jobs.
+// When ctx expires first, the remaining jobs are canceled and Shutdown
+// returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.pool.Shutdown(ctx)
+}
+
+// JobStatus is the API's per-job envelope.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Status string `json:"status"`
+	// Cached marks submissions answered from the result cache.
+	Cached bool `json:"cached"`
+	// Hash is the submission's content address (sha256, hex).
+	Hash      string `json:"hash"`
+	Submitted string `json:"submitted_at"`
+	Error     string `json:"error,omitempty"`
+	// Result is present once Status is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// RoundPayload is one approximation round in a result.
+type RoundPayload struct {
+	GateIndex    int     `json:"gate_index"`
+	SizeBefore   int     `json:"size_before"`
+	SizeAfter    int     `json:"size_after"`
+	Achieved     float64 `json:"achieved_fidelity"`
+	RemovedNodes int     `json:"removed_nodes"`
+}
+
+// ResultPayload is the JSON body of a finished job.
+type ResultPayload struct {
+	NumQubits         int            `json:"num_qubits"`
+	GateCount         int            `json:"gate_count"`
+	Strategy          string         `json:"strategy"`
+	Seed              int64          `json:"seed"`
+	MaxDDSize         int            `json:"max_dd_size"`
+	FinalDDSize       int            `json:"final_dd_size"`
+	EstimatedFidelity float64        `json:"estimated_fidelity"`
+	FidelityBound     float64        `json:"fidelity_bound"`
+	Rounds            []RoundPayload `json:"rounds,omitempty"`
+	// Samples maps basis-state bitstrings (qubit n−1 ... qubit 0) to
+	// counts; present when the submission requested shots.
+	Samples map[string]int `json:"samples,omitempty"`
+	// RuntimeMS is the simulation wall-clock time. On cache hits the
+	// original run's value is returned (the payload is byte-identical).
+	RuntimeMS float64 `json:"runtime_ms"`
+	DD        DDStats `json:"dd"`
+}
+
+// DDStats is the subset of dd.Stats surfaced per result.
+type DDStats struct {
+	VNodesCreated uint64 `json:"v_nodes_created"`
+	MNodesCreated uint64 `json:"m_nodes_created"`
+	NodesRecycled uint64 `json:"nodes_recycled"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Cleanups      uint64 `json:"cleanups"`
+	ComplexValues int    `json:"complex_values"`
+}
+
+// WorkerDD is the most recent per-worker DD-manager snapshot, captured on
+// the worker goroutine at job finalization (the only safe point).
+type WorkerDD struct {
+	Stats dd.Stats     `json:"stats"`
+	Pool  dd.PoolStats `json:"pool"`
+}
+
+// Stats is the /v1/stats body.
+type Stats struct {
+	// Jobs counts registered jobs by status (cache hits count as done).
+	Jobs map[string]int `json:"jobs"`
+	// Cache reports result-cache hits/misses/evictions and occupancy.
+	Cache CacheStats `json:"cache"`
+	// Pool reports worker-pool occupancy and lifetime throughput.
+	Pool batch.PoolState `json:"pool"`
+	// Workers maps pool worker ids to their manager's latest memory-system
+	// snapshot (dd.Stats plus node-pool occupancy).
+	Workers map[string]WorkerDD `json:"workers"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+		return
+	}
+	comp, err := s.compile(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.mu.Unlock()
+
+	// Content-addressed fast path: identical submissions (by circuit and
+	// result-relevant options) are answered from the cache without
+	// touching the pool.
+	if payload, ok := s.cache.get(comp.hash); ok {
+		js := &jobState{
+			id: id, name: req.Name, hash: comp.hash, cached: true,
+			created: time.Now(), status: StatusDone, payload: payload,
+		}
+		js.done.Store(true)
+		s.register(js)
+		writeJSON(w, http.StatusOK, s.statusOf(js, true))
+		return
+	}
+
+	js := &jobState{id: id, name: req.Name, hash: comp.hash, created: time.Now()}
+	job := batch.Job{
+		Name:    req.Name,
+		Circuit: comp.circuit,
+		Options: sim.Options{
+			InitialState:    comp.req.InitialState,
+			MeasurementSeed: comp.seed,
+		},
+		NewStrategy: comp.newStrategy,
+		Timeout:     comp.timeout,
+		Finalize:    s.finalizer(js, comp),
+	}
+	handle, err := s.pool.Submit(job)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		writeError(w, status, err)
+		return
+	}
+	js.handle = handle
+	s.register(js)
+	writeJSON(w, http.StatusAccepted, s.statusOf(js, false))
+}
+
+// finalizer builds the batch.Job Finalize hook: it runs on the worker while
+// the job's DD manager is still exclusively owned, samples the final state,
+// marshals the result payload, stores it on the job, feeds the cache, and
+// snapshots the worker's manager for /v1/stats.
+func (s *Server) finalizer(js *jobState, comp *compiled) func(*batch.JobResult) {
+	return func(jr *batch.JobResult) {
+		status, errMsg := classify(jr)
+		var payload []byte
+		if status == StatusDone {
+			p := buildPayload(jr, comp)
+			var err error
+			if payload, err = json.Marshal(p); err != nil {
+				status, errMsg = StatusFailed, fmt.Sprintf("marshaling result: %v", err)
+			}
+		}
+		if jr.Result != nil {
+			s.mu.Lock()
+			s.workerDD[jr.Worker] = WorkerDD{
+				Stats: jr.Result.DDStats,
+				Pool:  jr.Result.Manager.Pool(),
+			}
+			s.mu.Unlock()
+		}
+		// Feed the cache before publishing the done status: a client that
+		// polls until done and instantly resubmits must find the entry.
+		if status == StatusDone {
+			s.cache.put(js.hash, payload)
+		}
+		js.mu.Lock()
+		js.status, js.errMsg, js.payload = status, errMsg, payload
+		js.mu.Unlock()
+		js.done.Store(true)
+	}
+}
+
+func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
+	res := jr.Result
+	p := ResultPayload{
+		NumQubits:         res.NumQubits,
+		GateCount:         res.GateCount,
+		Strategy:          res.StrategyName,
+		Seed:              comp.seed,
+		MaxDDSize:         res.MaxDDSize,
+		FinalDDSize:       res.FinalDDSize,
+		EstimatedFidelity: res.EstimatedFidelity,
+		FidelityBound:     res.FidelityBound,
+		RuntimeMS:         float64(res.Runtime) / float64(time.Millisecond),
+		DD: DDStats{
+			VNodesCreated: res.DDStats.VNodesCreated,
+			MNodesCreated: res.DDStats.MNodesCreated,
+			NodesRecycled: res.DDStats.VNodesRecycled + res.DDStats.MNodesRecycled,
+			CacheHits:     res.DDStats.CacheHits,
+			CacheMisses:   res.DDStats.CacheMisses,
+			Cleanups:      res.DDStats.Cleanups,
+			ComplexValues: res.DDStats.ComplexValues,
+		},
+	}
+	for _, r := range res.Rounds {
+		p.Rounds = append(p.Rounds, RoundPayload{
+			GateIndex:    r.GateIndex,
+			SizeBefore:   r.Report.SizeBefore,
+			SizeAfter:    r.Report.SizeAfter,
+			Achieved:     r.Report.Achieved,
+			RemovedNodes: r.Report.RemovedNodes,
+		})
+	}
+	if shots := comp.req.Shots; shots > 0 {
+		// Safe here (and only here): with manager reuse the final state
+		// dies when the worker picks up its next job.
+		rng := rand.New(rand.NewSource(comp.seed))
+		hist := res.Manager.SampleMany(res.Final, res.NumQubits, shots, rng)
+		p.Samples = make(map[string]int, len(hist))
+		for idx, count := range hist {
+			p.Samples[fmt.Sprintf("%0*b", res.NumQubits, idx)] = count
+		}
+	}
+	return p
+}
+
+// classify maps a pool job outcome to an API status.
+func classify(jr *batch.JobResult) (status, errMsg string) {
+	switch {
+	case jr.Err == nil:
+		return StatusDone, ""
+	case errors.Is(jr.Err, sim.ErrDeadlineExceeded):
+		return StatusDeadline, jr.Err.Error()
+	case jr.Canceled():
+		return StatusCanceled, jr.Err.Error()
+	default:
+		return StatusFailed, jr.Err.Error()
+	}
+}
+
+func (s *Server) register(js *jobState) {
+	s.mu.Lock()
+	s.jobs[js.id] = js
+	s.order = append(s.order, js.id)
+	// Bound the registry: evict finished jobs from the old end beyond
+	// MaxJobs — amortized O(1) per submission. Eviction pauses while the
+	// oldest retained job is still in flight (its handle is live); since
+	// at most QueueDepth+Workers jobs are ever unfinished, the registry
+	// exceeds the bound only until that job terminates.
+	if max := s.cfg.MaxJobs; max > 0 {
+		for len(s.order) > max {
+			head := s.jobs[s.order[0]]
+			if head != nil && !head.done.Load() {
+				break
+			}
+			delete(s.jobs, s.order[0])
+			s.order = s.order[1:]
+		}
+		// Re-slicing leaves evicted ids in the backing array; compact
+		// occasionally so it cannot grow without bound.
+		if cap(s.order) > 2*max && cap(s.order) > 2*len(s.order) {
+			s.order = append(make([]string, 0, len(s.order)), s.order...)
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) job(id string) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// statusOf renders a job's current state. includeResult attaches the result
+// payload for finished jobs.
+func (s *Server) statusOf(js *jobState, includeResult bool) JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	st := JobStatus{
+		ID:        js.id,
+		Name:      js.name,
+		Cached:    js.cached,
+		Hash:      js.hash,
+		Submitted: js.created.UTC().Format(time.RFC3339Nano),
+		Error:     js.errMsg,
+	}
+	switch {
+	case js.status != "":
+		st.Status = js.status
+	case js.handle != nil && js.handle.Started():
+		st.Status = StatusRunning
+	default:
+		st.Status = StatusQueued
+	}
+	if includeResult && st.Status == StatusDone {
+		st.Result = json.RawMessage(js.payload)
+	}
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if js := s.job(id); js != nil {
+			out = append(out, s.statusOf(js, false))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	js := s.job(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(js, true))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	js := s.job(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	js.mu.Lock()
+	status, payload, errMsg := js.status, js.payload, js.errMsg
+	js.mu.Unlock()
+	switch status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(payload)
+	case "":
+		writeError(w, http.StatusConflict, errors.New("job has not finished"))
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"status": status, "error": errMsg})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	js := s.job(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if js.handle != nil && !js.done.Load() {
+		js.handle.Cancel(context.Canceled)
+	}
+	// The response reports the job's current (possibly still running)
+	// status rather than asserting "canceled": a job on its last gate may
+	// legitimately finish before it observes the cancellation, and this
+	// endpoint never claims a terminal state that did not happen. Poll
+	// until the status is terminal to learn the outcome.
+	writeJSON(w, http.StatusOK, s.statusOf(js, false))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{
+		Jobs:    map[string]int{},
+		Cache:   s.cache.stats(),
+		Pool:    s.pool.State(),
+		Workers: map[string]WorkerDD{},
+	}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	for worker, snap := range s.workerDD {
+		st.Workers[fmt.Sprintf("%d", worker)] = snap
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		if js := s.job(id); js != nil {
+			st.Jobs[s.statusOf(js, false).Status]++
+		}
+	}
+	st.Jobs["total"] = len(ids)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Serve listens on addr and serves the API until ctx is canceled, then
+// shuts the HTTP listener and the worker pool down gracefully, bounded by
+// grace (0 means wait for in-flight jobs indefinitely).
+func Serve(ctx context.Context, addr string, cfg Config, grace time.Duration) error {
+	s := New(cfg)
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		// Listen failed (e.g. address in use): tear the worker pool down
+		// too, or every failed Serve call would leak its workers.
+		s.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx := context.Background()
+	if grace > 0 {
+		var cancel context.CancelFunc
+		shutdownCtx, cancel = context.WithTimeout(shutdownCtx, grace)
+		defer cancel()
+	}
+	httpErr := hs.Shutdown(shutdownCtx)
+	poolErr := s.Shutdown(shutdownCtx)
+	if httpErr != nil {
+		return httpErr
+	}
+	if poolErr != nil && !errors.Is(poolErr, context.DeadlineExceeded) {
+		return poolErr
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,9 +1,3 @@
-// Package shor implements Shor's factoring algorithm on top of the DD
-// simulator, matching the paper's fidelity-driven benchmarks: a 3n-qubit
-// order-finding circuit (2n counting qubits, n work qubits) whose modular
-// multiplications are controlled permutation-matrix DDs, plus the classical
-// pre- and post-processing (gcd, modular exponentiation, continued
-// fractions, order → factors).
 package shor
 
 import "fmt"

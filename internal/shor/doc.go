@@ -1,0 +1,13 @@
+// Package shor implements Shor's factoring algorithm on top of the DD
+// simulator, matching the paper's fidelity-driven benchmarks: a 3n-qubit
+// order-finding circuit (2n counting qubits, n work qubits) whose modular
+// multiplications are controlled permutation-matrix DDs, plus the classical
+// pre- and post-processing (gcd, modular exponentiation, continued
+// fractions, order → factors).
+//
+// Instances are named shor_N_a as in Table I. Run simulates order finding
+// with a fidelity-driven approximation budget (the paper shows 50% final
+// fidelity still factors reliably, E5) and Factor drives the full loop from
+// an integer to its factors, including the classical lucky paths that skip
+// simulation entirely.
+package shor

@@ -1,0 +1,25 @@
+// Package sim drives DD-based quantum circuit simulation with optional
+// approximation (Section IV of the paper).
+//
+// A simulation run constructs the initial basis state, applies the circuit's
+// gates by DD matrix-vector multiplication, and consults the configured
+// approximation strategy after every gate. Instrumentation records the
+// paper's metrics: maximum DD size over the run, approximation rounds, and
+// the fidelity accounting of Lemma 1, plus the DD memory-system counters
+// (Result.DDStats, Result.WeightTable).
+//
+// Runs are interruptible between gates through two independent mechanisms —
+// Options.Deadline (the paper's timeout column; returns
+// ErrDeadlineExceeded) and Options.Context (how the batch engine and the
+// HTTP service abort in-flight work). Mid-circuit measurement and reset are
+// deterministic per Options.MeasurementSeed. A Simulator owns one dd.Manager
+// whose node pools are swept on occupancy pressure during the run
+// (Options.CleanupHighWater) and recycled wholesale between runs by
+// Recycle; state edges that must survive a later run's sweeps are protected
+// with Options.KeepAlive.
+//
+// RunAndCompare executes a circuit exactly and approximately inside one
+// manager and measures the true fidelity between the final states — the
+// paper's empirical validation, and the source of the Table I true-fidelity
+// column.
+package sim

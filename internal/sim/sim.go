@@ -1,11 +1,3 @@
-// Package sim drives DD-based quantum circuit simulation with optional
-// approximation (Section IV of the paper).
-//
-// A simulation run constructs the initial basis state, applies the circuit's
-// gates by DD matrix-vector multiplication, and consults the configured
-// approximation strategy after every gate. Instrumentation records the
-// paper's metrics: maximum DD size over the run, approximation rounds, and
-// the fidelity accounting of Lemma 1.
 package sim
 
 import (

@@ -1,16 +1,3 @@
-// Package xeb implements linear cross-entropy benchmarking (XEB), the
-// fidelity estimator used for the quantum-supremacy circuits the paper
-// benchmarks against (Arute et al. 2019 [4]; Markov et al. 2020 [14]).
-//
-// For a chaotic (Porter–Thomas distributed) ideal state ψ and samples
-// x_1..x_k drawn from a test distribution, the linear XEB score
-//
-//	F_XEB = 2^n · mean_i |⟨x_i|ψ⟩|² − 1
-//
-// is ≈ 1 when sampling from the ideal distribution, ≈ 0 when sampling
-// uniformly, and ≈ F when sampling from a state with fidelity F to the
-// ideal. This provides an independent, sample-based check of the paper's
-// tracked approximation fidelities on supremacy workloads.
 package xeb
 
 import (

@@ -1,0 +1,85 @@
+#!/bin/sh
+# End-to-end smoke test for cmd/simd: build the daemon, boot it, submit a
+# small QASM job, poll to completion, verify the content-addressed cache
+# answers a repeat submission, and shut down cleanly. CI runs this via
+# `make simd-smoke`; it needs only a Go toolchain and curl.
+set -eu
+
+ADDR="127.0.0.1:${SIMD_PORT:-18555}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/simd"
+LOG="$(mktemp)"
+
+fail() {
+	echo "simd-smoke: FAIL: $*" >&2
+	echo "--- simd log ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+go build -o "$BIN" ./cmd/simd || fail "build"
+
+"$BIN" -addr "$ADDR" -workers 2 -grace 5s >"$LOG" 2>&1 &
+SIMD_PID=$!
+trap 'kill "$SIMD_PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the health endpoint.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 100 ] || fail "server never became healthy on $ADDR"
+	sleep 0.1
+done
+
+BODY='{"name":"ghz4","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\n","strategy":"fidelity","final_fidelity":0.8,"round_fidelity":0.9,"shots":64}'
+
+# Submit and extract the job id.
+RESP="$(curl -sf -X POST -d "$BODY" "$BASE/v1/jobs")" || fail "submit"
+JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB" ] || fail "no job id in: $RESP"
+
+# Poll until the job leaves queued/running.
+i=0
+while :; do
+	ST="$(curl -sf "$BASE/v1/jobs/$JOB")" || fail "poll"
+	case "$ST" in
+	*'"status":"done"'*) break ;;
+	*'"status":"queued"'* | *'"status":"running"'*) ;;
+	*) fail "job ended badly: $ST" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -lt 200 ] || fail "job never finished: $ST"
+	sleep 0.1
+done
+
+# The finished job must expose a result with the right shape.
+RES="$(curl -sf "$BASE/v1/jobs/$JOB/result")" || fail "result fetch"
+case "$RES" in
+*'"num_qubits":4'*) ;;
+*) fail "unexpected result payload: $RES" ;;
+esac
+
+# An identical submission must be answered from the result cache.
+RESP2="$(curl -sf -X POST -d "$BODY" "$BASE/v1/jobs")" || fail "resubmit"
+case "$RESP2" in
+*'"cached":true'*'"status":"done"'* | *'"status":"done"'*'"cached":true'*) ;;
+*) fail "repeat submission missed the cache: $RESP2" ;;
+esac
+
+STATS="$(curl -sf "$BASE/v1/stats")" || fail "stats"
+case "$STATS" in
+*'"hits":1'*) ;;
+*) fail "cache hit not visible in stats: $STATS" ;;
+esac
+
+# Graceful shutdown on SIGTERM.
+kill "$SIMD_PID"
+i=0
+while kill -0 "$SIMD_PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -lt 100 ] || fail "server did not shut down on SIGTERM"
+	sleep 0.1
+done
+trap - EXIT INT TERM
+
+echo "simd-smoke: OK (job $JOB simulated, repeat submission served from cache)"
