@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet doc-lint simd-smoke ci
+.PHONY: all build test race bench bench-smoke examples fmt fmt-check vet doc-lint simd-smoke ci
 
 all: build
 
@@ -24,13 +24,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-smoke: one-iteration dd + batch benchmarks with JSON output, so CI
-## archives BENCH_dd.json and the gate-application perf trajectory is
-## tracked PR over PR
+## bench-smoke: one-iteration dd + batch + session benchmarks with JSON
+## output, so CI archives BENCH_dd.json and the gate-application and
+## session-overhead (time and allocs/op) trajectories are tracked PR over PR
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Gate|Batch' -benchtime 1x -benchmem -json \
-		./internal/dd ./internal/batch > BENCH_dd.json
+	$(GO) test -run '^$$' -bench 'Gate|Batch|Session' -benchtime 1x -benchmem -json \
+		./internal/dd ./internal/batch ./internal/sim > BENCH_dd.json
 	@echo "bench-smoke: $$(grep -c '"Output":"Benchmark' BENCH_dd.json) benchmark lines -> BENCH_dd.json"
+
+## examples: compile every example program (the CI gate keeping docs honest)
+examples:
+	$(GO) build ./examples/...
 
 ## fmt: rewrite all Go sources with gofmt
 fmt:
@@ -72,4 +76,4 @@ simd-smoke:
 	sh scripts/simd_smoke.sh
 
 ## ci: everything the pipeline runs, in order
-ci: fmt-check vet doc-lint build race simd-smoke
+ci: fmt-check vet doc-lint build examples race simd-smoke

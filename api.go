@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"time"
 
@@ -37,8 +38,16 @@ type (
 	MEdge = dd.MEdge
 	// Simulator runs circuits on a DD manager.
 	Simulator = sim.Simulator
-	// Options configures a simulation run.
+	// Options configures a simulation run; build one with NewOptions and
+	// the With… functional options, or fill the struct directly.
 	Options = sim.Options
+	// SimOption is one functional simulation option (WithStrategy,
+	// WithObserver, WithDeadline, …).
+	SimOption = sim.Option
+	// Session is a resumable gate-level simulation: Step/StepN/Seek
+	// through the circuit, inspect State between gates, Abort early, or
+	// Finish for the Result. Run is a loop over a Session.
+	Session = sim.Session
 	// Result reports a finished run.
 	Result = sim.Result
 	// Comparison relates approximate and exact runs.
@@ -59,6 +68,25 @@ type (
 	Report = core.Report
 	// Round is a report bound to its circuit position.
 	Round = core.Round
+	// StrategyFactory builds a fresh Strategy from JSON parameters; pair
+	// with RegisterStrategy to make custom strategies addressable by name,
+	// in-process and over the simulation service's HTTP API.
+	StrategyFactory = core.StrategyFactory
+)
+
+// Observation types: simulation lifecycle events delivered mid-run.
+type (
+	// Observer receives per-gate, approximation, cleanup, and finish
+	// events as a simulation executes (WithObserver / Options.Observer).
+	Observer = core.Observer
+	// NopObserver ignores every event; embed it for partial observers.
+	NopObserver = core.NopObserver
+	// GateEvent reports one applied gate and the DD size after it.
+	GateEvent = core.GateEvent
+	// CleanupEvent reports a node-pool mark-sweep collection.
+	CleanupEvent = core.CleanupEvent
+	// FinishEvent summarizes a finished, failed, or aborted session.
+	FinishEvent = core.FinishEvent
 )
 
 // Workload types.
@@ -115,6 +143,10 @@ type (
 	ServeResult = serve.ResultPayload
 	// ServeStats is the GET /v1/stats body (cache, pool, DD counters).
 	ServeStats = serve.Stats
+	// ServeEvent is one entry of a job's SSE stream
+	// (GET /v1/jobs/{id}/events), sourced from the simulation Observer.
+	// The typed consumer lives in the public client package.
+	ServeEvent = serve.Event
 	// ServePool is the worker-pool occupancy snapshot inside ServeStats.
 	ServePool = batch.PoolState
 )
@@ -149,6 +181,78 @@ func NewCircuit(n int, name string) *Circuit { return circuit.New(n, name) }
 
 // NewSimulator returns a simulator with a fresh DD manager.
 func NewSimulator() *Simulator { return sim.New() }
+
+// Run simulates the circuit on a fresh simulator under functional options:
+//
+//	res, err := repro.Run(c, repro.WithStrategy(repro.NewFidelityDriven(0.8, 0.95)),
+//		repro.WithSeed(7))
+//
+// For repeated runs sharing one DD manager, use NewSimulator and
+// Simulator.Run with NewOptions.
+func Run(c *Circuit, opts ...SimOption) (*Result, error) {
+	return sim.New().Run(c, sim.NewOptions(opts...))
+}
+
+// NewSession starts a resumable gate-level simulation on a fresh simulator:
+// step, observe, and steer it mid-run, then Finish for the Result. Sessions
+// on a shared manager come from Simulator.NewSession.
+func NewSession(c *Circuit, opts ...SimOption) (*Session, error) {
+	return sim.NewSession(c, sim.NewOptions(opts...))
+}
+
+// NewOptions folds functional options into an Options value, for APIs that
+// take the struct (Simulator.Run, RunAndCompare, BatchJob.Options).
+func NewOptions(opts ...SimOption) Options { return sim.NewOptions(opts...) }
+
+// Functional simulation options, re-exported from internal/sim.
+
+// WithStrategy selects the approximation strategy (a fresh, unshared
+// instance — strategies are stateful per run).
+func WithStrategy(s Strategy) SimOption { return sim.WithStrategy(s) }
+
+// WithObserver wires a lifecycle-event observer into the run.
+func WithObserver(o Observer) SimOption { return sim.WithObserver(o) }
+
+// WithDeadline aborts the run once the deadline passes (checked between
+// gates); the error wraps sim.ErrDeadlineExceeded.
+func WithDeadline(t time.Time) SimOption { return sim.WithDeadline(t) }
+
+// WithTimeout is WithDeadline relative to now.
+func WithTimeout(d time.Duration) SimOption { return sim.WithTimeout(d) }
+
+// WithContext cancels the run between gates once ctx is done.
+func WithContext(ctx context.Context) SimOption { return sim.WithContext(ctx) }
+
+// WithSeed seeds mid-circuit measurement and reset outcomes.
+func WithSeed(seed int64) SimOption { return sim.WithSeed(seed) }
+
+// WithInitialState starts from the basis state |b⟩ instead of |0…0⟩.
+func WithInitialState(b uint64) SimOption { return sim.WithInitialState(b) }
+
+// WithSizeHistory records the DD size after every gate in
+// Result.SizeHistory.
+func WithSizeHistory() SimOption { return sim.WithSizeHistory() }
+
+// WithKeepAlive protects states from earlier runs on the same manager
+// across this run's node-pool sweeps.
+func WithKeepAlive(edges ...VEdge) SimOption { return sim.WithKeepAlive(edges...) }
+
+// RegisterStrategy makes a custom approximation strategy constructible by
+// name — usable in-process (NewStrategyByName, WithStrategy) and over the
+// simulation service's HTTP API (JobRequest.Strategy/StrategyParams). See
+// core.RegisterStrategy for the registry contract.
+func RegisterStrategy(name string, factory StrategyFactory) error {
+	return core.RegisterStrategy(name, factory)
+}
+
+// NewStrategyByName builds a fresh strategy instance from the registry
+// ("exact", "memory", "fidelity", or any registered name).
+func NewStrategyByName(name string, params json.RawMessage) (Strategy, error) {
+	return core.NewStrategyByName(name, params)
+}
+
+// StrategyNames lists every registered strategy name, sorted.
+func StrategyNames() []string { return core.StrategyNames() }
 
 // RunAndCompare simulates a circuit exactly and approximately and measures
 // the true fidelity between the final states.

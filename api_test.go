@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/client"
 )
 
 func TestFacadeBellState(t *testing.T) {
@@ -327,4 +328,189 @@ func TestFacadeBatchRun(t *testing.T) {
 	if res.CPUTime <= 0 || res.WallTime <= 0 {
 		t.Errorf("missing time accounting: cpu=%v wall=%v", res.CPUTime, res.WallTime)
 	}
+}
+
+// halveAt is the facade test's custom strategy: one approximation round at a
+// fixed gate index. Registered below, it is driven both in-process (through
+// repro.WithStrategy) and over HTTP by name (through the typed client) — the
+// end-to-end contract of the strategy registry.
+type halveAt struct {
+	At    int     `json:"at"`
+	Round float64 `json:"round_fidelity"`
+
+	fired bool
+}
+
+func (s *halveAt) Name() string { return "halve-at" }
+
+func (s *halveAt) Init(total int, blocks []int) error {
+	if s.At < 0 || s.At >= total {
+		return fmt.Errorf("halve-at: gate %d outside circuit of %d gates", s.At, total)
+	}
+	if s.Round <= 0 || s.Round > 1 {
+		return fmt.Errorf("halve-at: round fidelity %v outside (0, 1]", s.Round)
+	}
+	s.fired = false
+	return nil
+}
+
+func (s *halveAt) AfterGate(m *repro.Manager, gateIdx, size int, state repro.VEdge) (repro.VEdge, *repro.Round, error) {
+	if s.fired || gateIdx != s.At {
+		return state, nil, nil
+	}
+	s.fired = true
+	ne, rep, err := repro.ApproximateToFidelity(m, state, s.Round)
+	if err != nil || rep.NoOp() {
+		return state, nil, err
+	}
+	return ne, &repro.Round{GateIndex: gateIdx, Report: rep}, nil
+}
+
+func init() {
+	if err := repro.RegisterStrategy("halve-at", func(params json.RawMessage) (repro.Strategy, error) {
+		s := &halveAt{}
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, s); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}); err != nil {
+		panic(err)
+	}
+}
+
+func TestCustomStrategyEndToEnd(t *testing.T) {
+	circ := repro.RandomCliffordTCircuit(9, 120, 11)
+	params := json.RawMessage(`{"at": 90, "round_fidelity": 0.9}`)
+
+	// In-process: build from the registry, run through the facade.
+	strat, err := repro.NewStrategyByName("halve-at", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Run(circ, repro.WithStrategy(strat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StrategyName != "halve-at" {
+		t.Errorf("strategy name %q", res.StrategyName)
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].GateIndex != 90 {
+		t.Fatalf("custom strategy rounds: %+v", res.Rounds)
+	}
+
+	// Over HTTP: same strategy by name, via the embedded service and the
+	// typed client, streaming its round as an event.
+	srv := repro.NewServer(repro.ServeConfig{Workers: 1})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	qasm, err := repro.ExportQASM(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(hs.URL)
+	job, err := cl.Submit(context.Background(), client.JobRequest{
+		Name:           "halve-at-http",
+		QASM:           qasm,
+		Strategy:       "halve-at",
+		StrategyParams: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []client.Event
+	final, err := cl.Stream(context.Background(), job.ID, func(e client.Event) error {
+		if e.Type == client.EventApproximation {
+			streamed = append(streamed, e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != client.StatusDone {
+		t.Fatalf("job ended %q: %s", final.Status, final.Error)
+	}
+	if len(streamed) != 1 || streamed[0].GateIndex != 90 {
+		t.Fatalf("streamed approximation events: %+v", streamed)
+	}
+	httpRes, err := cl.Result(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpRes.Strategy != "halve-at" || len(httpRes.Rounds) != 1 {
+		t.Fatalf("HTTP result: strategy %q, %d rounds", httpRes.Strategy, len(httpRes.Rounds))
+	}
+	// The same circuit position approximated in both paths.
+	if httpRes.Rounds[0].GateIndex != res.Rounds[0].GateIndex ||
+		httpRes.Rounds[0].RemovedNodes != res.Rounds[0].Report.RemovedNodes {
+		t.Errorf("in-process round %+v vs HTTP round %+v", res.Rounds[0], httpRes.Rounds[0])
+	}
+}
+
+func TestFacadeSessionStepping(t *testing.T) {
+	circ := repro.QFTCircuit(8)
+	ref, err := repro.Run(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := repro.NewSession(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Seek(circ.Len() / 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := repro.CountNodes(ses.State()); got <= 0 {
+		t.Errorf("mid-run state has %d nodes", got)
+	}
+	res, err := ses.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalDDSize != ref.FinalDDSize || res.MaxDDSize != ref.MaxDDSize {
+		t.Errorf("session result diverged from Run: final %d/%d max %d/%d",
+			res.FinalDDSize, ref.FinalDDSize, res.MaxDDSize, ref.MaxDDSize)
+	}
+}
+
+func Example_sessionObserver() {
+	// Step a simulation gate by gate and watch its approximation rounds
+	// arrive as events — the mid-run surface the paper's strategies run on.
+	c := repro.NewCircuit(2, "bell")
+	c.H(1)
+	c.CX(1, 0)
+
+	ses, err := repro.NewSession(c, repro.WithObserver(printRounds{}))
+	if err != nil {
+		panic(err)
+	}
+	for ses.Remaining() > 0 {
+		if err := ses.Step(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("after gate %d: %d nodes\n", ses.Pos()-1, repro.CountNodes(ses.State()))
+	}
+	res, err := ses.Finish()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("done: %d gates, final %d nodes\n", res.GateCount, res.FinalDDSize)
+	// Output:
+	// after gate 0: 2 nodes
+	// after gate 1: 3 nodes
+	// done: 2 gates, final 3 nodes
+}
+
+// printRounds reports approximation rounds; everything else is a no-op.
+type printRounds struct{ repro.NopObserver }
+
+func (printRounds) OnApproximation(r repro.Round) {
+	fmt.Printf("round at gate %d\n", r.GateIndex)
 }

@@ -9,13 +9,18 @@
 //	ddsim -gen qft:12 -shots 8
 //	ddsim -gen grover:10:333 -strategy fid -ffinal 0.8 -fround 0.95
 //	ddsim -qasm circuit.qasm -optimize -strategy mem -threshold 4096 -fround 0.99
-//	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05
+//	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05 -trace
 //	ddsim -gen ghz:4 -dot out.dot
+//
+// -trace streams per-gate node counts, approximation rounds, and node-pool
+// cleanups live (via the simulator's observer hooks) instead of waiting for
+// the run to finish.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -40,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed")
 	dotPath := flag.String("dot", "", "write the final state DD in Graphviz format")
 	history := flag.Bool("history", false, "print the per-gate DD size history")
+	trace := flag.Bool("trace", false, "stream per-gate node counts, approximation rounds, and cleanups as they happen")
 	optimize := flag.Bool("optimize", false, "peephole-optimize the circuit before simulating")
 	flag.Parse()
 
@@ -54,7 +60,21 @@ func main() {
 			stats.CancelledPairs, stats.MergedGates, stats.DroppedGates, stats.Passes)
 	}
 
-	opts := sim.Options{CollectSizeHistory: *history}
+	// Both -history and -trace observe the run through the Observer seam:
+	// -trace prints live, -history collects sizes and prints at the end.
+	var observers multiObserver
+	var collected *sizeCollector
+	if *history {
+		collected = &sizeCollector{}
+		observers = append(observers, collected)
+	}
+	if *trace {
+		observers = append(observers, traceObserver{w: os.Stdout})
+	}
+	var opts sim.Options
+	if len(observers) > 0 {
+		opts.Observer = observers
+	}
 	switch *strategy {
 	case "none":
 	case "mem":
@@ -88,7 +108,7 @@ func main() {
 	}
 	if *history {
 		fmt.Print("size history:")
-		for i, sz := range res.SizeHistory {
+		for i, sz := range collected.sizes {
 			if i%8 == 0 {
 				fmt.Printf("\n  gate %4d:", i)
 			}
@@ -115,6 +135,62 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}
+
+// traceObserver prints every simulation event as it happens.
+type traceObserver struct{ w io.Writer }
+
+func (o traceObserver) OnGate(e core.GateEvent) {
+	fmt.Fprintf(o.w, "gate %4d: %7d nodes\n", e.Index, e.Size)
+}
+
+func (o traceObserver) OnApproximation(r core.Round) {
+	fmt.Fprintf(o.w, "approx after gate %4d: %6d -> %6d nodes (-%d), fidelity %.6f\n",
+		r.GateIndex, r.Report.SizeBefore, r.Report.SizeAfter, r.Report.RemovedNodes, r.Report.Achieved)
+}
+
+func (o traceObserver) OnCleanup(e core.CleanupEvent) {
+	fmt.Fprintf(o.w, "cleanup after gate %4d: freed %d pooled nodes (%d live)\n", e.GateIndex, e.Freed, e.Live)
+}
+
+func (o traceObserver) OnFinish(e core.FinishEvent) {
+	fmt.Fprintf(o.w, "finished: %d gates, max %d nodes, final %d nodes, %d rounds\n",
+		e.GatesApplied, e.MaxDDSize, e.FinalDDSize, e.Rounds)
+}
+
+// sizeCollector records the per-gate size history for -history.
+type sizeCollector struct {
+	core.NopObserver
+	sizes []int
+}
+
+func (o *sizeCollector) OnGate(e core.GateEvent) { o.sizes = append(o.sizes, e.Size) }
+
+// multiObserver fans events out to several observers.
+type multiObserver []core.Observer
+
+func (m multiObserver) OnGate(e core.GateEvent) {
+	for _, o := range m {
+		o.OnGate(e)
+	}
+}
+
+func (m multiObserver) OnApproximation(r core.Round) {
+	for _, o := range m {
+		o.OnApproximation(r)
+	}
+}
+
+func (m multiObserver) OnCleanup(e core.CleanupEvent) {
+	for _, o := range m {
+		o.OnCleanup(e)
+	}
+}
+
+func (m multiObserver) OnFinish(e core.FinishEvent) {
+	for _, o := range m {
+		o.OnFinish(e)
 	}
 }
 

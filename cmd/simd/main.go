@@ -11,6 +11,7 @@
 //	simd -cache 4096              # result-cache entries (0 disables)
 //	simd -timeout 5m              # default per-job simulation timeout
 //	simd -max-qubits 32           # reject wider circuits (0 = unlimited)
+//	simd -events 4096             # per-job event-stream buffer (SSE)
 //	simd -reuse                   # reuse DD managers across jobs (faster,
 //	                              # results not bit-reproducible)
 //	simd -grace 30s               # shutdown grace period for live jobs
@@ -43,6 +44,7 @@ func main() {
 	maxQubits := flag.Int("max-qubits", 0, "reject circuits wider than this (0 = unlimited)")
 	maxShots := flag.Int("max-shots", 0, "reject submissions requesting more samples (0 = unlimited)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained finished jobs before the oldest are evicted (0 = unlimited)")
+	events := flag.Int("events", 1024, "per-job event buffer for GET /v1/jobs/{id}/events (oldest events evicted beyond this)")
 	reuse := flag.Bool("reuse", false, "reuse DD managers across jobs (faster; uncached results not bit-reproducible)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs (0 = wait forever)")
 	flag.Parse()
@@ -55,6 +57,7 @@ func main() {
 		MaxQubits:         *maxQubits,
 		MaxShots:          *maxShots,
 		MaxJobs:           *maxJobs,
+		EventBufferSize:   *events,
 		ReuseManagers:     *reuse,
 	}
 	if cfg.MaxJobs == 0 {

@@ -31,6 +31,13 @@ type Job struct {
 	// job's run, overriding Options.Strategy. This is the safe way to give
 	// many jobs the "same" (stateful) strategy configuration.
 	NewStrategy func() core.Strategy
+	// Observer, when non-nil, receives this job's simulation lifecycle
+	// events (per-gate sizes, approximation rounds, cleanups, completion),
+	// overriding Options.Observer. It is invoked on the worker goroutine
+	// running the job; like strategies, observers that keep state must not
+	// be shared between jobs unless they synchronize internally. The
+	// simulation service uses this to feed per-job event streams.
+	Observer core.Observer
 	// Timeout bounds this job's simulation; it takes precedence over
 	// Options.JobTimeout. Zero means no per-job override. An explicit
 	// Options.Deadline wins over both.
@@ -256,6 +263,9 @@ func runJob(ctx context.Context, worker, idx int, job Job, opts Options, s *sim.
 	}
 	if job.NewStrategy != nil {
 		o.Strategy = job.NewStrategy()
+	}
+	if job.Observer != nil {
+		o.Observer = job.Observer
 	}
 	if s == nil {
 		s = sim.New()

@@ -366,3 +366,37 @@ func TestStressMoreJobsThanWorkers(t *testing.T) {
 		t.Fatalf("progress fired %d times, want %d", calls, n)
 	}
 }
+
+// jobEventCounter is a per-job observer tallying lifecycle events.
+type jobEventCounter struct {
+	core.NopObserver
+	gates, finishes int
+}
+
+func (o *jobEventCounter) OnGate(core.GateEvent)     { o.gates++ }
+func (o *jobEventCounter) OnFinish(core.FinishEvent) { o.finishes++ }
+
+func TestPerJobObserverPlumbing(t *testing.T) {
+	circs := []*circuit.Circuit{gen.QFT(6), gen.GHZ(7), gen.QFT(5)}
+	observers := make([]*jobEventCounter, len(circs))
+	jobs := make([]Job, len(circs))
+	for i, c := range circs {
+		observers[i] = &jobEventCounter{}
+		jobs[i] = Job{Name: c.Name, Circuit: c, Observer: observers[i]}
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(jobs))
+	}
+	for i, obs := range observers {
+		if obs.gates != circs[i].Len() {
+			t.Errorf("job %d: OnGate fired %d times for %d gates", i, obs.gates, circs[i].Len())
+		}
+		if obs.finishes != 1 {
+			t.Errorf("job %d: OnFinish fired %d times", i, obs.finishes)
+		}
+	}
+}

@@ -16,4 +16,15 @@
 // fidelities. Strategies are stateful per run and plug into simulation via
 // sim.Options.Strategy; each run needs a fresh instance (the batch engine's
 // Job.NewStrategy and the serve service construct one per job).
+//
+// Two extension seams make mid-run behavior first-class:
+//
+//   - The strategy registry (RegisterStrategy / NewStrategyByName) maps
+//     names plus JSON parameters to factories, so custom strategies are
+//     constructible by name — in-process and over the simulation service's
+//     HTTP API. The builtins register as "exact", "memory", "fidelity".
+//   - The Observer interface (OnGate, OnApproximation, OnCleanup,
+//     OnFinish) receives simulation lifecycle events between gates; the
+//     simulation driver invokes it on the hot path with NopObserver as the
+//     free default.
 package core

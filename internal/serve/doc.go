@@ -7,12 +7,17 @@
 //
 //	POST   /v1/jobs             submit a circuit (OpenQASM 2.0 source or an
 //	                            inline gate list) with a per-job
-//	                            approximation strategy (exact, memory, or
-//	                            fidelity), threshold/fidelity parameters,
+//	                            approximation strategy — a builtin (exact,
+//	                            memory, fidelity) or any name registered
+//	                            via core.RegisterStrategy, parameterized by
+//	                            flat fields or strategy_params JSON — plus
 //	                            shots, seed, and timeout
 //	GET    /v1/jobs             list submissions with their statuses
 //	GET    /v1/jobs/{id}        poll one job (result attached when done)
 //	GET    /v1/jobs/{id}/result fetch the raw result payload
+//	GET    /v1/jobs/{id}/events stream the job's simulation events (SSE):
+//	                            per-gate sizes, approximation rounds,
+//	                            cleanups, then a terminal status frame
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/stats            cache, pool, and DD memory-system counters
 //	GET    /healthz             liveness probe
@@ -29,6 +34,10 @@
 // Job execution, cancellation, deadlines, and seeding all delegate to
 // batch.Pool; response payloads are assembled in the job's Finalize hook on
 // the worker goroutine, the only point where the final state DD is
-// guaranteed valid when managers are reused. docs/API.md documents every
-// endpoint with request/response examples.
+// guaranteed valid when managers are reused. Each job carries a bounded
+// event ring (Config.EventBufferSize) fed by the simulation Observer on the
+// worker — appends never block on consumers, slow or reconnecting SSE
+// readers see an explicit dropped-count gap instead. The public client
+// package wraps the whole API in typed calls, including the event stream.
+// docs/API.md documents every endpoint with request/response examples.
 package serve

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -14,7 +15,10 @@ import (
 	"repro/internal/qasm"
 )
 
-// Strategy names accepted in JobRequest.Strategy.
+// Builtin strategy names accepted in JobRequest.Strategy. Any further name
+// registered through core.RegisterStrategy is accepted as well, with its
+// parameters passed via JobRequest.StrategyParams — this is how user-defined
+// strategies become reachable over HTTP.
 const (
 	StrategyExact    = "exact"
 	StrategyMemory   = "memory"
@@ -52,8 +56,14 @@ type JobRequest struct {
 	Blocks []int `json:"blocks,omitempty"`
 
 	// Strategy selects the approximation mode: "exact" (default),
-	// "memory" (Section IV-B), or "fidelity" (Section IV-C).
+	// "memory" (Section IV-B), "fidelity" (Section IV-C), or any name
+	// registered through core.RegisterStrategy.
 	Strategy string `json:"strategy,omitempty"`
+	// StrategyParams carries the strategy's JSON parameters verbatim to
+	// its registered factory. For the builtins it replaces the flat fields
+	// below (setting both is an error); for registered strategies it is
+	// the only way to pass parameters.
+	StrategyParams json.RawMessage `json:"strategy_params,omitempty"`
 	// Threshold is the memory-driven initial node-count threshold.
 	Threshold int `json:"threshold,omitempty"`
 	// Growth is the memory-driven threshold multiplier (default 2).
@@ -84,6 +94,11 @@ type compiled struct {
 	hash    string // hex sha256 over circuit + result-relevant options
 	seed    int64  // resolved measurement/sampling seed (never 0)
 	timeout time.Duration
+
+	// stratName and stratParams are the resolved registry name and JSON
+	// parameters the job's per-run strategy instances are built from.
+	stratName   string
+	stratParams json.RawMessage
 }
 
 // compile validates the request against the server limits and resolves the
@@ -120,25 +135,23 @@ func (s *Server) compile(req JobRequest) (*compiled, error) {
 		return nil, fmt.Errorf("timeout_ms %d must be ≥ 0", req.TimeoutMS)
 	}
 
-	// Validate strategy parameters up front so submissions fail with a 400
-	// instead of a failed job. The strategies re-validate in Init.
-	switch req.Strategy {
-	case "", StrategyExact:
-	case StrategyMemory:
-		st := &core.MemoryDriven{Threshold: req.Threshold, RoundFidelity: req.RoundFidelity, Growth: req.Growth}
-		if err := st.Init(circ.Len(), circ.Blocks()); err != nil {
-			return nil, err
-		}
-	case StrategyFidelity:
-		st := core.NewFidelityDriven(req.FinalFidelity, req.RoundFidelity)
-		if err := st.Init(circ.Len(), circ.Blocks()); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown strategy %q (want exact, memory, or fidelity)", req.Strategy)
+	// Resolve the strategy through the core registry (builtins and
+	// user-registered alike) and validate by building + Init'ing one
+	// instance up front, so submissions fail with a 400 instead of a
+	// failed job.
+	name, params, err := resolveStrategy(req)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.NewStrategyByName(name, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Init(circ.Len(), circ.Blocks()); err != nil {
+		return nil, err
 	}
 
-	c := &compiled{req: req, circuit: circ}
+	c := &compiled{req: req, circuit: circ, stratName: name, stratParams: params}
 	c.hash = contentHash(circ, normalizeForHash(req))
 	c.seed = req.Seed
 	if c.seed == 0 {
@@ -151,21 +164,68 @@ func (s *Server) compile(req JobRequest) (*compiled, error) {
 	return c, nil
 }
 
-// newStrategy builds a fresh strategy instance for one run (strategies are
-// stateful, so each run needs its own).
-func (c *compiled) newStrategy() core.Strategy {
-	switch c.req.Strategy {
-	case StrategyMemory:
-		return &core.MemoryDriven{
-			Threshold:     c.req.Threshold,
-			RoundFidelity: c.req.RoundFidelity,
-			Growth:        c.req.Growth,
-		}
-	case StrategyFidelity:
-		return core.NewFidelityDriven(c.req.FinalFidelity, c.req.RoundFidelity)
-	default:
-		return core.Exact{}
+// resolveStrategy maps a submission onto a registry (name, params) pair. The
+// flat fields (threshold, growth, round/final fidelity) remain the builtin
+// shorthand; strategy_params passes JSON through to any registered factory
+// and may not be combined with the flat fields.
+func resolveStrategy(req JobRequest) (string, json.RawMessage, error) {
+	name := req.Strategy
+	if name == "" {
+		name = StrategyExact
 	}
+	flat := req.Threshold != 0 || req.Growth != 0 || req.RoundFidelity != 0 || req.FinalFidelity != 0
+	if len(req.StrategyParams) > 0 {
+		if flat {
+			return "", nil, fmt.Errorf("submission carries both strategy_params and flat strategy fields (threshold/growth/round_fidelity/final_fidelity); pick one")
+		}
+		return name, req.StrategyParams, nil
+	}
+	switch name {
+	case StrategyExact:
+		return name, nil, nil
+	case StrategyMemory:
+		params, err := json.Marshal(core.MemoryDrivenParams{
+			Threshold:     req.Threshold,
+			RoundFidelity: req.RoundFidelity,
+			Growth:        req.Growth,
+		})
+		return name, params, err
+	case StrategyFidelity:
+		params, err := json.Marshal(core.FidelityDrivenParams{
+			FinalFidelity: req.FinalFidelity,
+			RoundFidelity: req.RoundFidelity,
+		})
+		return name, params, err
+	default:
+		// Registered strategies take parameters only through
+		// strategy_params; silently ignoring the flat shorthand would run
+		// the job with the factory's defaults.
+		if flat {
+			return "", nil, fmt.Errorf("strategy %q takes parameters via strategy_params, not the flat threshold/growth/round_fidelity/final_fidelity fields", name)
+		}
+		return name, nil, nil
+	}
+}
+
+// newStrategy builds a fresh strategy instance for one run (strategies are
+// stateful, so each run needs its own). compile already validated the
+// (name, params) pair and the registry is append-only, so the error path is
+// defensive: it surfaces as a failed job rather than a panic.
+func (c *compiled) newStrategy() core.Strategy {
+	st, err := core.NewStrategyByName(c.stratName, c.stratParams)
+	if err != nil {
+		return brokenStrategy{err}
+	}
+	return st
+}
+
+// brokenStrategy fails the run at Init with the construction error.
+type brokenStrategy struct{ err error }
+
+func (b brokenStrategy) Name() string          { return "broken" }
+func (b brokenStrategy) Init(int, []int) error { return b.err }
+func (b brokenStrategy) AfterGate(_ *dd.Manager, _, _ int, state dd.VEdge) (dd.VEdge, *core.Round, error) {
+	return state, nil, nil
 }
 
 func buildInline(req JobRequest) (*circuit.Circuit, error) {
@@ -240,13 +300,18 @@ func normalizeForHash(req JobRequest) JobRequest {
 	case "", StrategyExact:
 		req.Strategy = StrategyExact
 		req.Threshold, req.Growth, req.RoundFidelity, req.FinalFidelity = 0, 0, 0, 0
+		req.StrategyParams = nil // the exact factory ignores parameters
 	case StrategyMemory:
-		if req.Growth == 0 {
+		if len(req.StrategyParams) == 0 && req.Growth == 0 {
 			req.Growth = 2
 		}
 		req.FinalFidelity = 0
 	case StrategyFidelity:
 		req.Threshold, req.Growth = 0, 0
+	default:
+		// Registered strategies take parameters only through
+		// strategy_params; the flat fields cannot affect the run.
+		req.Threshold, req.Growth, req.RoundFidelity, req.FinalFidelity = 0, 0, 0, 0
 	}
 	return req
 }
@@ -271,6 +336,12 @@ func contentHash(c *circuit.Circuit, req JobRequest) string {
 	b = binary.BigEndian.AppendUint64(b, req.InitialState)
 	b = binary.BigEndian.AppendUint64(b, uint64(req.Shots))
 	b = binary.BigEndian.AppendUint64(b, uint64(req.Seed))
+	// strategy_params hash verbatim (length-prefixed): two submissions
+	// with byte-identical params share the entry; the flat-field shorthand
+	// and its params spelling address different entries, which costs at
+	// most a duplicate cache slot, never a wrong hit.
+	b = binary.BigEndian.AppendUint64(b, uint64(len(req.StrategyParams)))
+	b = append(b, req.StrategyParams...)
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }

@@ -54,6 +54,12 @@ type Config struct {
 	// 4096, negative disables the bound. This keeps a long-running server's
 	// memory proportional to the bound, not to its submission history.
 	MaxJobs int
+	// EventBufferSize bounds each job's retained event stream (per-gate
+	// sizes, approximation rounds, cleanups) served on
+	// GET /v1/jobs/{id}/events. When a simulation emits more events than
+	// this, the oldest are evicted and streams report the gap; 0 selects
+	// 1024, the minimum is 16. The buffer never blocks the simulation.
+	EventBufferSize int
 	// ReuseManagers keeps one DD manager per worker across jobs (faster
 	// for heavy traffic; amplitudes may differ in low-order digits between
 	// identical uncached submissions, see batch.Options.ReuseManagers).
@@ -79,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 4096
+	}
+	if c.EventBufferSize <= 0 {
+		c.EventBufferSize = 1024
 	}
 	if c.MaxJobs < 0 {
 		c.MaxJobs = 0 // unbounded
@@ -115,6 +124,11 @@ type jobState struct {
 
 	handle *batch.Handle // nil for cache hits
 
+	// events buffers the job's simulation event stream for
+	// GET /v1/jobs/{id}/events; always non-nil (cache hits get a
+	// pre-closed buffer holding just the terminal status event).
+	events *eventBuffer
+
 	// done flips once the job reaches a terminal state (set after status
 	// below); the registry's eviction scan reads it without taking mu.
 	done atomic.Bool
@@ -145,6 +159,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -277,14 +292,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		js := &jobState{
 			id: id, name: req.Name, hash: comp.hash, cached: true,
 			created: time.Now(), status: StatusDone, payload: payload,
+			events: newEventBuffer(16),
 		}
+		// Cache hits never ran, so their stream is just the terminal event.
+		js.events.close(Event{Type: EventStatus, Status: StatusDone})
 		js.done.Store(true)
 		s.register(js)
 		writeJSON(w, http.StatusOK, s.statusOf(js, true))
 		return
 	}
 
-	js := &jobState{id: id, name: req.Name, hash: comp.hash, created: time.Now()}
+	js := &jobState{
+		id: id, name: req.Name, hash: comp.hash, created: time.Now(),
+		events: newEventBuffer(s.cfg.EventBufferSize),
+	}
 	job := batch.Job{
 		Name:    req.Name,
 		Circuit: comp.circuit,
@@ -293,6 +314,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			MeasurementSeed: comp.seed,
 		},
 		NewStrategy: comp.newStrategy,
+		Observer:    jobObserver{buf: js.events},
 		Timeout:     comp.timeout,
 		Finalize:    s.finalizer(js, comp),
 	}
@@ -339,6 +361,9 @@ func (s *Server) finalizer(js *jobState, comp *compiled) func(*batch.JobResult) 
 		js.status, js.errMsg, js.payload = status, errMsg, payload
 		js.mu.Unlock()
 		js.done.Store(true)
+		// Terminate the event stream last, once the result is readable:
+		// a client that sees the terminal event can immediately fetch it.
+		js.events.close(Event{Type: EventStatus, Status: status, Error: errMsg})
 	}
 }
 

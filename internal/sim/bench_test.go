@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BenchmarkSessionOverhead proves the Session refactor is free: Run (now a
+// thin loop over a stack-held Session) against explicit stepping, on the same
+// workload, with allocation counts reported. CI archives both lines in
+// BENCH_dd.json so the time and allocs/op trajectories are tracked PR over
+// PR; Run must stay within noise of the explicit session loop and of the
+// pre-Session numbers.
+func BenchmarkSessionOverhead(b *testing.B) {
+	circ := gen.QFT(12)
+	newStrategy := func() core.Strategy {
+		return &core.MemoryDriven{Threshold: 1 << 10, RoundFidelity: 0.99, Growth: 1.05}
+	}
+	b.Run("run", func(b *testing.B) {
+		b.ReportAllocs()
+		s := New()
+		for i := 0; i < b.N; i++ {
+			s.Recycle()
+			if _, err := s.Run(circ, Options{Strategy: newStrategy()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session_steps", func(b *testing.B) {
+		b.ReportAllocs()
+		s := New()
+		for i := 0; i < b.N; i++ {
+			s.Recycle()
+			ses, err := s.NewSession(circ, Options{Strategy: newStrategy()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if err := ses.Step(); err == ErrSessionDone {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := ses.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("run_observed", func(b *testing.B) {
+		// The no-op observer's cost on the hot path.
+		b.ReportAllocs()
+		s := New()
+		for i := 0; i < b.N; i++ {
+			s.Recycle()
+			if _, err := s.Run(circ, Options{Strategy: newStrategy(), Observer: core.NopObserver{}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,20 +1,32 @@
 // Package sim drives DD-based quantum circuit simulation with optional
 // approximation (Section IV of the paper).
 //
-// A simulation run constructs the initial basis state, applies the circuit's
-// gates by DD matrix-vector multiplication, and consults the configured
-// approximation strategy after every gate. Instrumentation records the
-// paper's metrics: maximum DD size over the run, approximation rounds, and
-// the fidelity accounting of Lemma 1, plus the DD memory-system counters
-// (Result.DDStats, Result.WeightTable).
+// The unit of execution is the Session: a resumable gate-level stepper that
+// constructs the initial basis state, applies gates by DD matrix-vector
+// multiplication, and consults the configured approximation strategy after
+// every gate. Callers either run a circuit end to end (Run is a thin,
+// allocation-neutral loop over a Session) or drive it explicitly —
+// Step/StepN/Seek between gates, State to inspect the live DD, Abort to
+// release pooled nodes early, Finish for the Result. Instrumentation records
+// the paper's metrics: maximum DD size over the run, approximation rounds,
+// and the fidelity accounting of Lemma 1, plus the DD memory-system
+// counters (Result.DDStats, Result.WeightTable).
 //
-// Runs are interruptible between gates through two independent mechanisms —
-// Options.Deadline (the paper's timeout column; returns
-// ErrDeadlineExceeded) and Options.Context (how the batch engine and the
-// HTTP service abort in-flight work). Mid-circuit measurement and reset are
-// deterministic per Options.MeasurementSeed. A Simulator owns one dd.Manager
-// whose node pools are swept on occupancy pressure during the run
-// (Options.CleanupHighWater) and recycled wholesale between runs by
+// Options.Observer (core.Observer) streams lifecycle events — per-gate
+// sizes, approximation rounds, node-pool cleanups, completion — to the
+// caller as the run executes; the HTTP service forwards them as per-job SSE
+// streams. Options are built either as a struct literal or with the
+// functional options in options.go (WithStrategy, WithObserver,
+// WithDeadline, ...), which the root package re-exports.
+//
+// Runs are interruptible between gates through one unified mechanism: an
+// Options.Deadline derives a context (carrying ErrDeadlineExceeded as its
+// cancellation cause, the paper's timeout column) from Options.Context (how
+// the batch engine and the HTTP service abort in-flight work), and the
+// session checks that single context between gates. Mid-circuit measurement
+// and reset are deterministic per Options.MeasurementSeed. A Simulator owns
+// one dd.Manager whose node pools are swept on occupancy pressure during
+// the run (Options.CleanupHighWater) and recycled wholesale between runs by
 // Recycle; state edges that must survive a later run's sweeps are protected
 // with Options.KeepAlive.
 //

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+)
+
+// Option mutates an Options value. The functional-option constructors below
+// are the preferred way to configure a run or session at the API facade;
+// Options stays the underlying representation, so struct-literal callers
+// (and the batch engine, which fills fields programmatically) keep working.
+type Option func(*Options)
+
+// NewOptions folds functional options into an Options value.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithStrategy selects the approximation strategy (nil means exact). The
+// instance must be fresh per run — strategies are stateful.
+func WithStrategy(s core.Strategy) Option {
+	return func(o *Options) { o.Strategy = s }
+}
+
+// WithObserver wires a lifecycle-event observer into the run.
+func WithObserver(obs core.Observer) Option {
+	return func(o *Options) { o.Observer = obs }
+}
+
+// WithDeadline aborts the run with ErrDeadlineExceeded once the deadline
+// passes (checked between gates).
+func WithDeadline(t time.Time) Option {
+	return func(o *Options) { o.Deadline = t }
+}
+
+// WithTimeout is WithDeadline relative to now.
+func WithTimeout(d time.Duration) Option {
+	return func(o *Options) { o.Deadline = time.Now().Add(d) }
+}
+
+// WithContext cancels the run between gates once ctx is done.
+func WithContext(ctx context.Context) Option {
+	return func(o *Options) { o.Context = ctx }
+}
+
+// WithSeed seeds mid-circuit measurement and reset outcomes.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.MeasurementSeed = seed }
+}
+
+// WithInitialState starts the run from the basis state |b⟩.
+func WithInitialState(b uint64) Option {
+	return func(o *Options) { o.InitialState = b }
+}
+
+// WithSizeHistory records the DD size after every gate in
+// Result.SizeHistory.
+func WithSizeHistory() Option {
+	return func(o *Options) { o.CollectSizeHistory = true }
+}
+
+// WithCleanupHighWater overrides the node-pool occupancy that triggers a
+// mark-sweep cleanup.
+func WithCleanupHighWater(n int) Option {
+	return func(o *Options) { o.CleanupHighWater = n }
+}
+
+// WithKeepAlive protects state edges from earlier runs on the same manager
+// across this run's cleanup sweeps.
+func WithKeepAlive(edges ...dd.VEdge) Option {
+	return func(o *Options) { o.KeepAlive = append(o.KeepAlive, edges...) }
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 	"time"
@@ -45,6 +44,11 @@ type Options struct {
 	// true-fidelity column use this to keep the exact reference state valid
 	// while the approximate run executes.
 	KeepAlive []dd.VEdge
+	// Observer, when non-nil, receives lifecycle events (per-gate sizes,
+	// approximation rounds, cleanups, completion) as the run executes. It
+	// is invoked on the simulating goroutine between gates; nil selects
+	// the no-op observer.
+	Observer core.Observer
 }
 
 // Measurement records one mid-circuit measurement outcome.
@@ -138,121 +142,15 @@ func New() *Simulator { return &Simulator{M: dd.New()} }
 // calls this between jobs when managers are reused.
 func (s *Simulator) Recycle() { s.M.Cleanup(nil, nil) }
 
-// Run simulates the circuit under the given options.
+// Run simulates the circuit under the given options. It is a thin loop over
+// a Session — results are identical to stepping a session to completion —
+// kept allocation-neutral by holding the session on the stack.
 func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
-	start := time.Now()
-	n := c.NumQubits
-	strategy := opts.Strategy
-	if strategy == nil {
-		strategy = core.Exact{}
-	}
-	if err := strategy.Init(c.Len(), c.Blocks()); err != nil {
+	var ses Session
+	if err := ses.init(s, c, opts); err != nil {
 		return nil, err
 	}
-	highWater := opts.CleanupHighWater
-	if highWater <= 0 {
-		highWater = 1 << 17
-	}
-
-	m := s.M
-	startLookups, startHits := m.CN.Stats()
-	state := m.BasisState(n, opts.InitialState)
-	tracker := core.NewFidelityTracker()
-	res := &Result{
-		Manager:      m,
-		NumQubits:    n,
-		GateCount:    c.Len(),
-		StrategyName: strategy.Name(),
-	}
-	if opts.CollectSizeHistory {
-		res.SizeHistory = make([]int, 0, c.Len())
-	}
-	res.MaxDDSize = dd.CountVNodes(state)
-
-	gateCache := make(map[string]dd.MEdge)
-
-	var measureRNG *rand.Rand // lazily created on first measurement
-
-	for i, g := range c.Gates() {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, fmt.Errorf("after gate %d of %d: %w", i, c.Len(), ErrDeadlineExceeded)
-		}
-		if opts.Context != nil {
-			if err := context.Cause(opts.Context); err != nil {
-				return nil, fmt.Errorf("sim: canceled after gate %d of %d: %w", i, c.Len(), err)
-			}
-		}
-		switch g.Kind {
-		case circuit.KindMeasure, circuit.KindReset:
-			if measureRNG == nil {
-				measureRNG = rand.New(rand.NewSource(opts.MeasurementSeed))
-			}
-			bit, collapsed := m.MeasureQubit(state, g.Target, n, measureRNG)
-			res.Measurements = append(res.Measurements, Measurement{
-				GateIndex: i, Qubit: g.Target, Outcome: bit,
-			})
-			state = collapsed
-			if g.Kind == circuit.KindReset && bit == 1 {
-				x := m.MakeGateDD(n, [4]complex128{0, 1, 1, 0}, g.Target)
-				state = m.MulVec(x, state)
-			}
-			state = m.NormalizeRootWeight(state)
-		default:
-			op, err := s.gateDD(g, n, gateCache)
-			if err != nil {
-				return nil, fmt.Errorf("sim: gate %d (%s): %w", i, g.String(), err)
-			}
-			state = m.MulVec(op, state)
-			state = m.NormalizeRootWeight(state)
-		}
-		if m.IsVZero(state) {
-			return nil, fmt.Errorf("sim: state vanished after gate %d (%s)", i, g.String())
-		}
-		size := dd.CountVNodes(state)
-		if size > res.MaxDDSize {
-			res.MaxDDSize = size
-		}
-		if opts.CollectSizeHistory {
-			res.SizeHistory = append(res.SizeHistory, size)
-		}
-		newState, round, err := strategy.AfterGate(m, i, size, state)
-		if err != nil {
-			return nil, fmt.Errorf("sim: approximation after gate %d: %w", i, err)
-		}
-		if round != nil {
-			tracker.Record(*round)
-			state = newState
-		}
-		if m.Pool().Live > highWater {
-			roots := append([]dd.VEdge{state}, opts.KeepAlive...)
-			mRoots := make([]dd.MEdge, 0, len(gateCache))
-			for _, e := range gateCache {
-				mRoots = append(mRoots, e)
-			}
-			m.Cleanup(roots, mRoots)
-			res.Cleanups++
-			// If the sweep freed little, most of the pool is genuinely
-			// live: raise the trigger so we don't sweep every gate.
-			if live := m.Pool().Live; 4*live > highWater {
-				highWater = 4 * live
-			}
-		}
-	}
-
-	res.Final = state
-	res.FinalDDSize = dd.CountVNodes(state)
-	res.DDStats = m.Stats()
-	endLookups, endHits := m.CN.Stats()
-	res.WeightTable = WeightTableStats{
-		Peak:    m.CN.Peak(),
-		Lookups: endLookups - startLookups,
-		Hits:    endHits - startHits,
-	}
-	res.Rounds = tracker.Rounds()
-	res.EstimatedFidelity = tracker.Achieved()
-	res.FidelityBound = tracker.Bound()
-	res.Runtime = time.Since(start)
-	return res, nil
+	return ses.Finish()
 }
 
 // gateDD builds (or fetches) the operation DD for a gate.

@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end smoke test for cmd/simd: build the daemon, boot it, submit a
 # small QASM job, poll to completion, verify the content-addressed cache
-# answers a repeat submission, and shut down cleanly. CI runs this via
-# `make simd-smoke`; it needs only a Go toolchain and curl.
+# answers a repeat submission, stream the SSE events endpoint, run the typed
+# client round-trip (examples/stream: submit → stream events → result), and
+# shut down cleanly. CI runs this via `make simd-smoke`; it needs only a Go
+# toolchain and curl.
 set -eu
 
 ADDR="127.0.0.1:${SIMD_PORT:-18555}"
@@ -72,6 +74,30 @@ case "$STATS" in
 *) fail "cache hit not visible in stats: $STATS" ;;
 esac
 
+# The SSE endpoint must replay the finished job's events and close with a
+# terminal status frame.
+EVENTS="$(curl -sf -N --max-time 10 "$BASE/v1/jobs/$JOB/events")" || fail "events stream"
+case "$EVENTS" in
+*'event: gate'*) ;;
+*) fail "no gate events in stream: $EVENTS" ;;
+esac
+case "$EVENTS" in
+*'event: status'*'"status":"done"'*) ;;
+*) fail "no terminal status event in stream: $EVENTS" ;;
+esac
+
+# Typed client round-trip: examples/stream submits an approximated circuit,
+# consumes its live event stream, and cross-checks the result payload.
+STREAM_OUT="$(go run ./examples/stream -addr "$BASE")" || fail "typed client round-trip (examples/stream)"
+case "$STREAM_OUT" in
+*'terminal status: done'*) ;;
+*) fail "typed client stream missed the terminal event: $STREAM_OUT" ;;
+esac
+case "$STREAM_OUT" in
+*'round after gate'*) ;;
+*) fail "typed client stream carried no approximation rounds: $STREAM_OUT" ;;
+esac
+
 # Graceful shutdown on SIGTERM.
 kill "$SIMD_PID"
 i=0
@@ -82,4 +108,4 @@ while kill -0 "$SIMD_PID" 2>/dev/null; do
 done
 trap - EXIT INT TERM
 
-echo "simd-smoke: OK (job $JOB simulated, repeat submission served from cache)"
+echo "simd-smoke: OK (job $JOB simulated, cache hit verified, SSE + typed client round-trip passed)"
