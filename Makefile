@@ -4,7 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke examples fmt fmt-check vet doc-lint simd-smoke ci
+# Perf-regression gate knobs (see scripts/benchsummary): relative ns/op
+# regression that fails bench-check, and an optional baseline floor below
+# which timings are ignored (0 = gate everything; Gate/Session benches run
+# at -benchtime 100ms so even ns-scale results are statistically solid).
+BENCH_CHECK_THRESHOLD ?= 0.25
+BENCH_CHECK_MIN_NS ?= 0
+
+.PHONY: all build test race bench bench-smoke bench-check bench-baseline examples fmt fmt-check vet doc-lint simd-smoke ci
 
 all: build
 
@@ -24,13 +31,32 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-smoke: one-iteration dd + batch + session benchmarks with JSON
-## output, so CI archives BENCH_dd.json and the gate-application and
-## session-overhead (time and allocs/op) trajectories are tracked PR over PR
+## bench-smoke: one-iteration dd + batch + session benchmarks, captured as
+## the raw go-test JSON stream (BENCH_dd.json) and parsed by
+## scripts/benchsummary into the stable-schema BENCH_summary.json
+## (benchmark -> ns/op, allocs/op, custom metrics) that bench-check gates on
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Gate|Batch|Session' -benchtime 1x -benchmem -json \
-		./internal/dd ./internal/batch ./internal/sim > BENCH_dd.json
-	@echo "bench-smoke: $$(grep -c '"Output":"Benchmark' BENCH_dd.json) benchmark lines -> BENCH_dd.json"
+	$(GO) test -run '^$$' -bench 'Gate|Session' -benchtime 100ms -count 5 -benchmem -json \
+		./internal/dd ./internal/sim > BENCH_dd.json
+	$(GO) test -run '^$$' -bench 'Batch' -benchtime 1x -count 3 -benchmem -json \
+		./internal/batch >> BENCH_dd.json
+	$(GO) run ./scripts/benchsummary -in BENCH_dd.json -out BENCH_summary.json
+
+## bench-check: the perf-regression gate — fail when a Gate/Batch/Session
+## benchmark's ns/op regressed more than BENCH_CHECK_THRESHOLD against the
+## committed bench_baseline.json, or when the ordering benchmark stops
+## showing scored < identity peak nodes. Runs bench-smoke first so the
+## summary is fresh.
+bench-check: bench-smoke
+	$(GO) run ./scripts/benchsummary -check \
+		-baseline bench_baseline.json -summary BENCH_summary.json \
+		-threshold $(BENCH_CHECK_THRESHOLD) -min-ns $(BENCH_CHECK_MIN_NS)
+
+## bench-baseline: refresh the committed perf baseline from a fresh
+## bench-smoke run (commit the resulting bench_baseline.json)
+bench-baseline: bench-smoke
+	cp BENCH_summary.json bench_baseline.json
+	@echo "bench-baseline: baseline refreshed; commit bench_baseline.json"
 
 ## examples: compile every example program (the CI gate keeping docs honest)
 examples:

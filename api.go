@@ -13,6 +13,7 @@ import (
 	"repro/internal/dd"
 	"repro/internal/gen"
 	"repro/internal/opt"
+	"repro/internal/order"
 	"repro/internal/qasm"
 	"repro/internal/serve"
 	"repro/internal/shor"
@@ -85,9 +86,34 @@ type (
 	GateEvent = core.GateEvent
 	// CleanupEvent reports a node-pool mark-sweep collection.
 	CleanupEvent = core.CleanupEvent
+	// ReorderEvent reports a dynamic variable-reordering (sifting) pass.
+	ReorderEvent = core.ReorderEvent
 	// FinishEvent summarizes a finished, failed, or aborted session.
 	FinishEvent = core.FinishEvent
 )
+
+// Variable ordering (the reordering layer of internal/order and
+// internal/dd): the qubit→level order is as decisive for DD size as the
+// paper's truncations, and the two compound.
+type (
+	// ReorderPolicy is a strategy's variable-ordering request: a static
+	// ordering name plus optional dynamic sifting bounds.
+	ReorderPolicy = core.ReorderPolicy
+	// ReorderStrategy wraps an inner approximation strategy with a
+	// reordering policy; build one with NewReorder or by registry name
+	// ("reorder") with order.Params-shaped JSON.
+	ReorderStrategy = order.Strategy
+)
+
+// NewReorder wraps inner (nil = exact) with a variable-reordering policy,
+// e.g. repro.NewReorder(repro.ReorderPolicy{Static: "scored", Sift: true}, nil).
+func NewReorder(policy ReorderPolicy, inner Strategy) *ReorderStrategy {
+	return order.NewReorder(policy, inner)
+}
+
+// OrderingNames lists the supported static ordering names ("identity",
+// "reversed", "scored").
+func OrderingNames() []string { return order.Names() }
 
 // Workload types.
 type (

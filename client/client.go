@@ -52,6 +52,8 @@ type (
 	ResultPayload = serve.ResultPayload
 	// Stats is the GET /v1/stats body.
 	Stats = serve.Stats
+	// ReorderStats aggregates variable-reordering activity in Stats.
+	ReorderStats = serve.ReorderStats
 	// Event is one entry of a job's event stream.
 	Event = serve.Event
 )
@@ -61,6 +63,7 @@ const (
 	EventGate          = serve.EventGate
 	EventApproximation = serve.EventApproximation
 	EventCleanup       = serve.EventCleanup
+	EventReorder       = serve.EventReorder
 	EventFinish        = serve.EventFinish
 	EventStatus        = serve.EventStatus
 )

@@ -11,6 +11,11 @@
 //	ddsim -qasm circuit.qasm -optimize -strategy mem -threshold 4096 -fround 0.99
 //	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05 -trace
 //	ddsim -gen ghz:4 -dot out.dot
+//	ddsim -gen qft:12 -order scored -sift
+//
+// -order installs a static variable ordering (identity, reversed, scored)
+// before simulation; -sift additionally runs dynamic reordering passes when
+// the state DD outgrows -sift-threshold. Both compose with -strategy.
 //
 // -trace streams per-gate node counts, approximation rounds, and node-pool
 // cleanups live (via the simulator's observer hooks) instead of waiting for
@@ -29,6 +34,7 @@ import (
 	"repro/internal/dd"
 	"repro/internal/gen"
 	"repro/internal/opt"
+	"repro/internal/order"
 	"repro/internal/qasm"
 	"repro/internal/sim"
 )
@@ -47,6 +53,9 @@ func main() {
 	history := flag.Bool("history", false, "print the per-gate DD size history")
 	trace := flag.Bool("trace", false, "stream per-gate node counts, approximation rounds, and cleanups as they happen")
 	optimize := flag.Bool("optimize", false, "peephole-optimize the circuit before simulating")
+	orderName := flag.String("order", "", "variable ordering: identity, reversed, or scored (empty = identity without the reordering layer)")
+	sift := flag.Bool("sift", false, "enable dynamic sifting passes at the between-gate safe point")
+	siftThreshold := flag.Int("sift-threshold", 0, "state-DD node count that triggers a sifting pass (0 = default)")
 	flag.Parse()
 
 	circ, err := loadCircuit(*qasmPath, *genSpec)
@@ -86,6 +95,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	if *orderName != "" || *sift {
+		static := *orderName
+		if static == "" {
+			static = order.Identity
+		}
+		opts.Strategy = order.NewReorder(core.ReorderPolicy{
+			Static:        static,
+			Sift:          *sift,
+			SiftThreshold: *siftThreshold,
+		}, opts.Strategy)
+	}
 
 	s := sim.New()
 	res, err := s.Run(circ, opts)
@@ -98,6 +118,13 @@ func main() {
 	fmt.Printf("max DD:     %d nodes\n", res.MaxDDSize)
 	fmt.Printf("final DD:   %d nodes\n", res.FinalDDSize)
 	fmt.Printf("runtime:    %v\n", res.Runtime)
+	if res.InitialOrder != nil {
+		fmt.Printf("order:      %v", res.FinalOrder)
+		if res.SiftPasses > 0 {
+			fmt.Printf(" (from %v via %d sift passes, %d swaps)", res.InitialOrder, res.SiftPasses, res.SiftSwaps)
+		}
+		fmt.Println()
+	}
 	if len(res.Rounds) > 0 {
 		fmt.Printf("rounds:     %d\n", len(res.Rounds))
 		fmt.Printf("fidelity:   %.6f (bound %.6f)\n", res.EstimatedFidelity, res.FidelityBound)
@@ -154,6 +181,11 @@ func (o traceObserver) OnCleanup(e core.CleanupEvent) {
 	fmt.Fprintf(o.w, "cleanup after gate %4d: freed %d pooled nodes (%d live)\n", e.GateIndex, e.Freed, e.Live)
 }
 
+func (o traceObserver) OnReorder(e core.ReorderEvent) {
+	fmt.Fprintf(o.w, "reorder after gate %4d: %6d -> %6d nodes (%d swaps), order %v\n",
+		e.GateIndex, e.SizeBefore, e.SizeAfter, e.Swaps, e.Order)
+}
+
 func (o traceObserver) OnFinish(e core.FinishEvent) {
 	fmt.Fprintf(o.w, "finished: %d gates, max %d nodes, final %d nodes, %d rounds\n",
 		e.GatesApplied, e.MaxDDSize, e.FinalDDSize, e.Rounds)
@@ -185,6 +217,12 @@ func (m multiObserver) OnApproximation(r core.Round) {
 func (m multiObserver) OnCleanup(e core.CleanupEvent) {
 	for _, o := range m {
 		o.OnCleanup(e)
+	}
+}
+
+func (m multiObserver) OnReorder(e core.ReorderEvent) {
+	for _, o := range m {
+		o.OnReorder(e)
 	}
 }
 

@@ -26,8 +26,11 @@ import (
 	"os"
 
 	"repro/internal/benchtab"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/gen"
+	"repro/internal/order"
 	"repro/internal/shor"
 	"repro/internal/sim"
 	"repro/internal/supremacy"
@@ -50,6 +53,7 @@ func main() {
 	report("E3/E7 — paper figures and worked examples", paperExamples)
 	report("E1/E2 — Table I", func() error { return table1(*scale, runOpts) })
 	report("E8 — memory-driven threshold sweep", func() error { return thresholdSweep(runOpts) })
+	report("E10 — variable-ordering sweep (nodes saved per ordering)", func() error { return orderingSweep(runOpts) })
 	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(runOpts) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
@@ -130,6 +134,27 @@ func thresholdSweep(opts benchtab.SweepOptions) error {
 		return err
 	}
 	fmt.Print(benchtab.FormatSweepMarkdown(points))
+	return nil
+}
+
+func orderingSweep(opts benchtab.SweepOptions) error {
+	cfg := supremacy.Config{Rows: 3, Cols: 4, Depth: 12, Seed: 0}
+	sup, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	pairs := circuit.New(16, "pairs_16")
+	for i := 0; i < 8; i++ {
+		pairs.H(i)
+		pairs.CX(i, i+8)
+	}
+	points, err := benchtab.SweepOrderings(context.Background(),
+		[]*circuit.Circuit{pairs, gen.QFT(14), sup},
+		[]string{order.Reversed, order.Scored}, true, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatOrderMarkdown(points))
 	return nil
 }
 

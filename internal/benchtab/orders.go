@@ -1,0 +1,107 @@
+package benchtab
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/order"
+)
+
+// OrderPoint is one circuit × ordering cell of an ordering sweep: the
+// Table-1-style size metrics plus the nodes saved against the identity
+// order on the same circuit.
+type OrderPoint struct {
+	Circuit string
+	Order   string
+	MaxDD   int
+	FinalDD int
+	Runtime time.Duration
+	// IdentityMaxDD is the identity-order peak for the same circuit;
+	// NodesSaved = IdentityMaxDD − MaxDD (negative when the ordering hurt).
+	IdentityMaxDD int
+	NodesSaved    int
+	// SiftPasses counts dynamic passes (non-zero only when sift is on).
+	SiftPasses int
+}
+
+// SweepOrderings runs every circuit under every named ordering on the batch
+// engine (identity is always included as the baseline, first) and reports
+// nodes saved per ordering. With sift set, each non-identity configuration
+// additionally runs dynamic sifting passes.
+func SweepOrderings(ctx context.Context, circs []*circuit.Circuit, orders []string, sift bool, opts SweepOptions) ([]OrderPoint, error) {
+	names := make([]string, 0, len(orders)+1)
+	names = append(names, order.Identity)
+	for _, o := range orders {
+		if o != order.Identity {
+			names = append(names, o)
+		}
+	}
+	var jobs []batch.Job
+	for _, c := range circs {
+		for _, name := range names {
+			name := name
+			jobs = append(jobs, batch.Job{
+				Name:    fmt.Sprintf("%s/%s", c.Name, name),
+				Circuit: c,
+				NewStrategy: func() core.Strategy {
+					return order.NewReorder(core.ReorderPolicy{Static: name, Sift: sift && name != order.Identity}, nil)
+				},
+			})
+		}
+	}
+	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OrderPoint, 0, len(bres.Jobs))
+	var identityMax int
+	for i, jr := range bres.Jobs {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("benchtab: %s: %w", jr.Name, jr.Err)
+		}
+		res := jr.Result
+		if i%len(names) == 0 {
+			identityMax = res.MaxDDSize
+		}
+		ci, oi := i/len(names), i%len(names)
+		out = append(out, OrderPoint{
+			Circuit:       circs[ci].Name,
+			Order:         names[oi],
+			MaxDD:         res.MaxDDSize,
+			FinalDD:       res.FinalDDSize,
+			Runtime:       res.Runtime,
+			IdentityMaxDD: identityMax,
+			NodesSaved:    identityMax - res.MaxDDSize,
+			SiftPasses:    res.SiftPasses,
+		})
+	}
+	return out, nil
+}
+
+// FormatOrderMarkdown renders an ordering sweep as a markdown table.
+func FormatOrderMarkdown(points []OrderPoint) string {
+	var b strings.Builder
+	b.WriteString("| Circuit | Order | Max DD | Final DD | Saved | Sifts | Runtime |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %s |\n",
+			p.Circuit, p.Order, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, fmtDur(p.Runtime))
+	}
+	return b.String()
+}
+
+// FormatOrderCSV renders an ordering sweep as CSV.
+func FormatOrderCSV(points []OrderPoint) string {
+	var b strings.Builder
+	b.WriteString("circuit,order,max_dd,final_dd,nodes_saved,sift_passes,seconds\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%.6f\n",
+			p.Circuit, p.Order, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, p.Runtime.Seconds())
+	}
+	return b.String()
+}

@@ -24,7 +24,11 @@
 //     constructible by name — in-process and over the simulation service's
 //     HTTP API. The builtins register as "exact", "memory", "fidelity".
 //   - The Observer interface (OnGate, OnApproximation, OnCleanup,
-//     OnFinish) receives simulation lifecycle events between gates; the
-//     simulation driver invokes it on the hot path with NopObserver as the
-//     free default.
+//     OnReorder, OnFinish) receives simulation lifecycle events between
+//     gates; the simulation driver invokes it on the hot path with
+//     NopObserver as the free default.
+//
+// A third seam, Reorderer, lets a strategy request a variable-ordering
+// policy (static order plus dynamic sifting bounds) that the simulation
+// session executes; the "reorder" strategy in internal/order implements it.
 package core

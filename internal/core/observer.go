@@ -17,6 +17,9 @@ type Observer interface {
 	OnApproximation(r Round)
 	// OnCleanup fires after a mark-sweep node-pool collection.
 	OnCleanup(e CleanupEvent)
+	// OnReorder fires after a dynamic variable-reordering (sifting) pass
+	// changed the qubit→level order mid-run.
+	OnReorder(e ReorderEvent)
 	// OnFinish fires exactly once when the session ends: after the last
 	// gate, on a mid-run error, or on Session.Abort.
 	OnFinish(e FinishEvent)
@@ -38,6 +41,19 @@ type CleanupEvent struct {
 	// Live is the pool occupancy after the sweep; Freed is how many nodes
 	// the sweep returned to the free lists.
 	Live, Freed int
+}
+
+// ReorderEvent describes one dynamic variable-reordering pass.
+type ReorderEvent struct {
+	// GateIndex is the gate after which the pass ran.
+	GateIndex int
+	// SizeBefore and SizeAfter are the state-DD node counts around the
+	// pass (the reduction is exact — reordering never changes amplitudes).
+	SizeBefore, SizeAfter int
+	// Swaps counts the adjacent-level swaps the pass performed.
+	Swaps int
+	// Order is the qubit→level permutation after the pass.
+	Order []int
 }
 
 // FinishEvent summarizes a finished (or aborted/failed) simulation.
@@ -71,6 +87,9 @@ func (NopObserver) OnApproximation(Round) {}
 
 // OnCleanup implements Observer.
 func (NopObserver) OnCleanup(CleanupEvent) {}
+
+// OnReorder implements Observer.
+func (NopObserver) OnReorder(ReorderEvent) {}
 
 // OnFinish implements Observer.
 func (NopObserver) OnFinish(FinishEvent) {}

@@ -42,7 +42,8 @@ func CountMNodes(e MEdge) int {
 }
 
 // LevelCounts returns the number of distinct nodes per variable, indexed by
-// qubit. Useful for inspecting where a state DD is wide.
+// DD level (which coincides with the qubit index only under the identity
+// order). Useful for inspecting where a state DD is wide.
 func LevelCounts(e VEdge, n int) []int {
 	counts := make([]int, n)
 	seen := make(map[*VNode]struct{})

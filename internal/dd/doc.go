@@ -5,9 +5,14 @@
 //
 // Conventions:
 //
-//   - Qubit q corresponds to bit q of the basis-state index; the root node of
-//     an n-qubit DD has Var n-1 and the terminal sits below Var 0 (as in
-//     Fig. 1 of the paper, where the root is q2).
+//   - Qubit q corresponds to bit q of the basis-state index. Nodes are
+//     labeled by DD level: the root of an n-qubit DD has Var n-1 and the
+//     terminal sits below Var 0 (as in Fig. 1 of the paper). Which level
+//     represents which qubit is the manager's variable order (order.go) —
+//     identity by default, settable per run (SetOrder), and movable mid-run
+//     through adjacent-level swaps (SwapAdjacentLevels) and sifting (Sift).
+//     Qubit-indexed entry points consult the order; structural operations
+//     pair levels positionally and never see it.
 //   - There is no level skipping: every root-to-terminal path visits every
 //     variable. This makes the per-level node-contribution identity of
 //     Definition 2 hold exactly (contributions on each level sum to 1).

@@ -4,13 +4,19 @@ import "fmt"
 
 // MakeGateDD builds the n-qubit operation DD for a single-qubit gate u
 // (row-major [u00 u01 u10 u11]) applied to target, optionally guarded by an
-// arbitrary set of positive/negative controls. The construction extends the
-// 2×2 gate level by level: identity structure on uninvolved qubits,
-// identity-vs-gate branching at control qubits.
+// arbitrary set of positive/negative controls. Target and control qubits are
+// placed at their levels under the manager's variable order; the
+// construction extends the 2×2 gate level by level: identity structure on
+// uninvolved levels, identity-vs-gate branching at control levels.
 func (m *Manager) MakeGateDD(n int, u [4]complex128, target int, controls ...Control) MEdge {
 	if target < 0 || target >= n {
 		panic(fmt.Sprintf("dd: gate target %d out of range for %d qubits", target, n))
 	}
+	tLevel := m.QubitLevel(target)
+	if tLevel >= n {
+		panic(fmt.Sprintf("dd: gate target %d maps to level %d beyond the %d-qubit register", target, tLevel, n))
+	}
+	// ctrl is keyed by level, where the construction consumes it.
 	ctrl := make(map[int]bool, len(controls))
 	for _, c := range controls {
 		if c.Qubit < 0 || c.Qubit >= n {
@@ -19,14 +25,18 @@ func (m *Manager) MakeGateDD(n int, u [4]complex128, target int, controls ...Con
 		if c.Qubit == target {
 			panic("dd: control coincides with target")
 		}
-		if _, dup := ctrl[c.Qubit]; dup {
+		cLevel := m.QubitLevel(c.Qubit)
+		if cLevel >= n {
+			panic(fmt.Sprintf("dd: control qubit %d maps to level %d beyond the %d-qubit register", c.Qubit, cLevel, n))
+		}
+		if _, dup := ctrl[cLevel]; dup {
 			panic(fmt.Sprintf("dd: duplicate control on qubit %d", c.Qubit))
 		}
-		ctrl[c.Qubit] = c.Positive
+		ctrl[cLevel] = c.Positive
 	}
 
-	// Quadrants of the operation restricted to qubits [0, q), assuming all
-	// controls below the target are satisfied.
+	// Quadrants of the operation restricted to levels [0, q), assuming all
+	// controls below the target level are satisfied.
 	em := [4]MEdge{
 		m.mEdge(u[0], m.mTerminal),
 		m.mEdge(u[1], m.mTerminal),
@@ -35,7 +45,7 @@ func (m *Manager) MakeGateDD(n int, u [4]complex128, target int, controls ...Con
 	}
 	zero := m.MZero()
 
-	for q := 0; q < target; q++ {
+	for q := 0; q < tLevel; q++ {
 		idBelow := m.Identity(q)
 		if positive, isCtrl := ctrl[q]; isCtrl {
 			// If the control is not satisfied the whole operation is the
@@ -59,9 +69,9 @@ func (m *Manager) MakeGateDD(n int, u [4]complex128, target int, controls ...Con
 		}
 	}
 
-	e := m.MakeMNode(int32(target), em)
+	e := m.MakeMNode(int32(tLevel), em)
 
-	for q := target + 1; q < n; q++ {
+	for q := tLevel + 1; q < n; q++ {
 		idBelow := m.Identity(q)
 		if positive, isCtrl := ctrl[q]; isCtrl {
 			if positive {
@@ -80,7 +90,9 @@ func (m *Manager) MakeGateDD(n int, u [4]complex128, target int, controls ...Con
 // full n-qubit system, optionally adding controls on qubits ≥ fromLevel.
 // Controls below fromLevel are rejected. This is how Shor's controlled
 // modular-multiplication permutation matrices are embedded into the
-// 3n-qubit system.
+// 3n-qubit system. ExtendMatrix (like MakePermutationDD) addresses levels
+// directly and requires the identity variable order; the simulation layer
+// rejects reordering for circuits carrying permutation gates.
 func (m *Manager) ExtendMatrix(e MEdge, fromLevel, n int, controls ...Control) MEdge {
 	if fromLevel < 0 || fromLevel > n {
 		panic(fmt.Sprintf("dd: ExtendMatrix fromLevel %d out of range for %d qubits", fromLevel, n))

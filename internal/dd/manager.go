@@ -43,12 +43,18 @@ type Manager struct {
 
 	idChain []MEdge // idChain[k] = identity DD on qubits 0..k-1
 
+	// Variable order (see order.go): qubitToLevel[q] is the DD level
+	// representing qubit q, levelToQubit its inverse. nil means identity.
+	qubitToLevel []int
+	levelToQubit []int
+
 	nextID uint64
 
 	// Stats counters.
 	vNodesCreated uint64
 	mNodesCreated uint64
 	cleanups      uint64
+	levelSwaps    uint64
 	addStats      CacheStats
 	maddStats     CacheStats
 	mulStats      CacheStats
@@ -171,6 +177,8 @@ type Stats struct {
 	CacheMisses   uint64
 	Cleanups      uint64
 	ComplexValues int
+	// LevelSwaps counts adjacent-level variable swaps (reordering traffic).
+	LevelSwaps uint64
 }
 
 // Stats returns a snapshot of the manager counters.
@@ -186,6 +194,7 @@ func (m *Manager) Stats() Stats {
 		MM:             m.mmStats,
 		IP:             m.ipStats,
 		Cleanups:       m.cleanups,
+		LevelSwaps:     m.levelSwaps,
 		ComplexValues:  m.CN.Size(),
 	}
 	s.VUniqueSize = m.vLiveCount()

@@ -16,7 +16,7 @@ func (m *Manager) Sample(e VEdge, n int, rng *rand.Rand) uint64 {
 	}
 	var idx uint64
 	node := e.N
-	for q := n - 1; q >= 0; q-- {
+	for l := n - 1; l >= 0; l-- {
 		if node.IsTerminal() {
 			panic("dd: Sample reached terminal early (qubit count mismatch)")
 		}
@@ -28,7 +28,7 @@ func (m *Manager) Sample(e VEdge, n int, rng *rand.Rand) uint64 {
 		if r >= p0 {
 			bit = 1
 		}
-		idx |= bit << uint(q)
+		idx |= bit << uint(m.LevelQubit(l))
 		node = node.E[bit].N
 	}
 	return idx

@@ -11,17 +11,18 @@ func (m *Manager) ZeroState(n int) VEdge {
 }
 
 // BasisState returns the n-qubit computational basis state |bits⟩, where bit
-// q of bits is the value of qubit q.
+// q of bits is the value of qubit q (placed at the qubit's level under the
+// manager's variable order).
 func (m *Manager) BasisState(n int, bits uint64) VEdge {
 	if n <= 0 || n > 63 {
 		panic(fmt.Sprintf("dd: BasisState qubit count %d out of range", n))
 	}
 	e := VEdge{W: m.CN.One, N: m.vTerminal}
-	for q := 0; q < n; q++ {
-		if bits>>uint(q)&1 == 0 {
-			e = m.MakeVNode(int32(q), e, m.VZero())
+	for l := 0; l < n; l++ {
+		if bits>>uint(m.LevelQubit(l))&1 == 0 {
+			e = m.MakeVNode(int32(l), e, m.VZero())
 		} else {
-			e = m.MakeVNode(int32(q), m.VZero(), e)
+			e = m.MakeVNode(int32(l), m.VZero(), e)
 		}
 	}
 	return e
@@ -44,13 +45,13 @@ func (m *Manager) FromAmplitudes(vec []complex128) (VEdge, error) {
 	return m.fromAmps(int32(n-1), 0, vec), nil
 }
 
-func (m *Manager) fromAmps(level int32, base int, vec []complex128) VEdge {
+func (m *Manager) fromAmps(level int32, base uint64, vec []complex128) VEdge {
 	if level < 0 {
 		return m.vEdge(vec[base], m.vTerminal)
 	}
-	size := 1 << uint(level)
+	bit := uint64(1) << uint(m.LevelQubit(int(level)))
 	e0 := m.fromAmps(level-1, base, vec)
-	e1 := m.fromAmps(level-1, base+size, vec)
+	e1 := m.fromAmps(level-1, base|bit, vec)
 	return m.MakeVNode(level, e0, e1)
 }
 
@@ -68,14 +69,14 @@ func NumQubits(e VEdge) int {
 func (m *Manager) Amplitude(e VEdge, idx uint64, n int) complex128 {
 	w := e.W.Complex()
 	node := e.N
-	for q := n - 1; q >= 0; q-- {
+	for l := n - 1; l >= 0; l-- {
 		if w == 0 {
 			return 0
 		}
 		if node.IsTerminal() {
 			panic("dd: Amplitude reached terminal early (qubit count mismatch)")
 		}
-		child := node.E[idx>>uint(q)&1]
+		child := node.E[idx>>uint(m.LevelQubit(l))&1]
 		w *= child.W.Complex()
 		node = child.N
 	}
@@ -99,7 +100,7 @@ func (m *Manager) fillVector(w complex128, node *VNode, level int, base uint64, 
 		return
 	}
 	m.fillVector(w*node.E[0].W.Complex(), node.E[0].N, level-1, base, out)
-	m.fillVector(w*node.E[1].W.Complex(), node.E[1].N, level-1, base|1<<uint(level), out)
+	m.fillVector(w*node.E[1].W.Complex(), node.E[1].N, level-1, base|1<<uint(m.LevelQubit(level)), out)
 }
 
 // Norm returns the 2-norm of the state ‖e‖ = sqrt(⟨e|e⟩).

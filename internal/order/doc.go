@@ -1,0 +1,18 @@
+// Package order computes variable orderings for decision-diagram simulation
+// and exposes them as a composable strategy.
+//
+// DD size is governed as much by the qubit→level order as by the paper's
+// fidelity-driven truncations: the right order can shrink a diagram by
+// orders of magnitude (cf. the "Reorder Trick" of Shen et al. and the
+// scoring-based static orderings of Kimura et al.), and the two effects
+// compound. This package supplies the static side — identity, reversed, and
+// a gate-locality "scored" heuristic that places interacting qubits on
+// adjacent levels — and the policy plumbing for the dynamic side (sifting,
+// executed by the simulation session through dd.Manager.Sift).
+//
+// The "reorder" registry strategy (see Strategy and Params) makes ordering
+// reachable everywhere strategies are: in-process via core.NewStrategyByName
+// or NewReorder, over HTTP via the strategy_params field, and through the
+// typed client. It wraps an inner strategy, so reordering composes with
+// exact, memory-driven, and fidelity-driven approximation.
+package order

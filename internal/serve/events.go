@@ -19,6 +19,8 @@ const (
 	EventApproximation = "approximation"
 	// EventCleanup reports a mark-sweep node-pool collection.
 	EventCleanup = "cleanup"
+	// EventReorder reports a dynamic variable-reordering (sifting) pass.
+	EventReorder = "reorder"
 	// EventFinish summarizes the simulation the moment it ends on the
 	// worker (before the job result is published).
 	EventFinish = "finish"
@@ -44,6 +46,11 @@ type Event struct {
 	// Live and Freed describe cleanup events.
 	Live  int `json:"live,omitempty"`
 	Freed int `json:"freed,omitempty"`
+	// SizeBefore, Swaps, and Order describe reorder events (Size carries
+	// the node count after the pass; Order is the qubit→level map).
+	SizeBefore int   `json:"size_before,omitempty"`
+	Swaps      int   `json:"swaps,omitempty"`
+	Order      []int `json:"order,omitempty"`
 	// MaxSize, Rounds, and Fidelity summarize finish events.
 	MaxSize  int     `json:"max_size,omitempty"`
 	Rounds   int     `json:"rounds,omitempty"`
@@ -164,6 +171,17 @@ func (o jobObserver) OnApproximation(r core.Round) {
 
 func (o jobObserver) OnCleanup(e core.CleanupEvent) {
 	o.buf.append(Event{Type: EventCleanup, GateIndex: e.GateIndex, Live: e.Live, Freed: e.Freed})
+}
+
+func (o jobObserver) OnReorder(e core.ReorderEvent) {
+	o.buf.append(Event{
+		Type:       EventReorder,
+		GateIndex:  e.GateIndex,
+		Size:       e.SizeAfter,
+		SizeBefore: e.SizeBefore,
+		Swaps:      e.Swaps,
+		Order:      e.Order,
+	})
 }
 
 func (o jobObserver) OnFinish(e core.FinishEvent) {

@@ -23,6 +23,10 @@ const (
 	StrategyExact    = "exact"
 	StrategyMemory   = "memory"
 	StrategyFidelity = "fidelity"
+	// StrategyReorder wraps any other strategy with variable reordering; it
+	// takes parameters only through StrategyParams (see order.Params), e.g.
+	// {"order":"scored","sift":true,"inner":"memory","inner_params":{...}}.
+	StrategyReorder = "reorder"
 )
 
 // GateSpec is one gate of an inline circuit submission.

@@ -112,6 +112,7 @@ type Server struct {
 	jobs     map[string]*jobState
 	order    []string         // job ids in submission order, for listing
 	workerDD map[int]WorkerDD // last DD-manager snapshot per pool worker
+	reorder  ReorderStats     // lifetime reordering aggregates for /v1/stats
 }
 
 // jobState tracks one submission from POST to result retrieval.
@@ -227,6 +228,15 @@ type ResultPayload struct {
 	// original run's value is returned (the payload is byte-identical).
 	RuntimeMS float64 `json:"runtime_ms"`
 	DD        DDStats `json:"dd"`
+	// InitialOrder and FinalOrder are the qubit→level variable orders the
+	// run started and ended under; present only when the job ran a
+	// reordering strategy. They differ only when dynamic sifting ran.
+	InitialOrder []int `json:"initial_order,omitempty"`
+	FinalOrder   []int `json:"final_order,omitempty"`
+	// SiftPasses and SiftSwaps count dynamic reordering passes and their
+	// adjacent-level swaps.
+	SiftPasses int `json:"sift_passes,omitempty"`
+	SiftSwaps  int `json:"sift_swaps,omitempty"`
 }
 
 // DDStats is the subset of dd.Stats surfaced per result.
@@ -247,6 +257,17 @@ type WorkerDD struct {
 	Pool  dd.PoolStats `json:"pool"`
 }
 
+// ReorderStats aggregates variable-reordering activity across finished jobs
+// for /v1/stats.
+type ReorderStats struct {
+	// Jobs counts finished jobs that ran under a reordering strategy.
+	Jobs int64 `json:"jobs"`
+	// SiftPasses and SiftSwaps total the dynamic passes and adjacent-level
+	// swaps those jobs performed.
+	SiftPasses int64 `json:"sift_passes"`
+	SiftSwaps  int64 `json:"sift_swaps"`
+}
+
 // Stats is the /v1/stats body.
 type Stats struct {
 	// Jobs counts registered jobs by status (cache hits count as done).
@@ -258,6 +279,9 @@ type Stats struct {
 	// Workers maps pool worker ids to their manager's latest memory-system
 	// snapshot (dd.Stats plus node-pool occupancy).
 	Workers map[string]WorkerDD `json:"workers"`
+	// Reorder aggregates variable-reordering activity (jobs that chose a
+	// non-default order, sifting passes, level swaps).
+	Reorder ReorderStats `json:"reorder"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +374,11 @@ func (s *Server) finalizer(js *jobState, comp *compiled) func(*batch.JobResult) 
 				Stats: jr.Result.DDStats,
 				Pool:  jr.Result.Manager.Pool(),
 			}
+			if jr.Result.InitialOrder != nil {
+				s.reorder.Jobs++
+				s.reorder.SiftPasses += int64(jr.Result.SiftPasses)
+				s.reorder.SiftSwaps += int64(jr.Result.SiftSwaps)
+			}
 			s.mu.Unlock()
 		}
 		// Feed the cache before publishing the done status: a client that
@@ -388,6 +417,10 @@ func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 			Cleanups:      res.DDStats.Cleanups,
 			ComplexValues: res.DDStats.ComplexValues,
 		},
+		InitialOrder: res.InitialOrder,
+		FinalOrder:   res.FinalOrder,
+		SiftPasses:   res.SiftPasses,
+		SiftSwaps:    res.SiftSwaps,
 	}
 	for _, r := range res.Rounds {
 		p.Rounds = append(p.Rounds, RoundPayload{
@@ -557,6 +590,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for worker, snap := range s.workerDD {
 		st.Workers[fmt.Sprintf("%d", worker)] = snap
 	}
+	st.Reorder = s.reorder
 	s.mu.Unlock()
 	for _, id := range ids {
 		if js := s.job(id); js != nil {

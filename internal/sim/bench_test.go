@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/gen"
 )
@@ -60,4 +62,40 @@ func BenchmarkSessionOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSessionOrdering runs the entangled-pairs workload (qubit i
+// entangled with qubit i+n/2 — exponential in n/2 under the identity order,
+// linear with partners adjacent) under each static ordering, reporting the
+// peak state-DD node count as the peak_nodes metric. CI's bench-check gate
+// asserts scored stays below identity, pinning the reordering win PR over
+// PR alongside the ns/op trajectories.
+func BenchmarkSessionOrdering(b *testing.B) {
+	const n = 16
+	circ := circuit.New(n, "pairs")
+	for i := 0; i < n/2; i++ {
+		circ.H(i)
+		circ.CX(i, i+n/2)
+	}
+	for _, mode := range []string{"identity", "scored"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			params := json.RawMessage(`{"order":"` + mode + `"}`)
+			peak := 0
+			s := New()
+			for i := 0; i < b.N; i++ {
+				s.Recycle()
+				st, err := core.NewStrategyByName("reorder", params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(circ, Options{Strategy: st})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.MaxDDSize
+			}
+			b.ReportMetric(float64(peak), "peak_nodes")
+		})
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/order"
 )
 
 // Session errors.
@@ -51,6 +52,13 @@ type Session struct {
 	state     dd.VEdge
 	next      int // index of the next gate to apply
 	highWater int
+
+	// Dynamic reordering (populated when the strategy implements
+	// core.Reorderer with Sift enabled; see maybeSift).
+	sift          bool
+	siftThreshold int
+	siftCfg       dd.SiftConfig
+	siftMaxPasses int
 
 	start                   time.Time
 	startLookups, startHits int64
@@ -110,6 +118,49 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 	}
 
 	m := s.M
+
+	// Variable ordering. A strategy implementing core.Reorderer chooses the
+	// qubit→level order the whole run executes under; it must be installed
+	// before the initial state is built. Reordering is incompatible with
+	// cross-run KeepAlive states (they were built under the previous order
+	// and would silently change meaning) and with permutation gates (their
+	// payloads address DD levels directly). Runs without a reordering
+	// strategy restore the identity order so results stay reproducible when
+	// managers are reused across jobs.
+	// fail releases the derived deadline timer on an init error exit.
+	fail := func(err error) error {
+		if cancel != nil {
+			cancel()
+		}
+		return err
+	}
+	var policy core.ReorderPolicy
+	reorderer, hasReorder := strategy.(core.Reorderer)
+	if hasReorder {
+		policy = reorderer.ReorderPolicy()
+	}
+	var initialOrder []int
+	if hasReorder {
+		if len(opts.KeepAlive) > 0 {
+			return fail(fmt.Errorf("sim: reordering cannot be combined with KeepAlive states from earlier runs"))
+		}
+		if (policy.Sift || (policy.Static != "" && policy.Static != order.Identity)) && order.HasPermGate(c) {
+			return fail(fmt.Errorf("sim: circuit %q carries permutation gates, which require the identity order", c.Name))
+		}
+		if policy.Static != "" {
+			perm, err := order.Compute(policy.Static, c)
+			if err != nil {
+				return fail(err)
+			}
+			if err := m.SetOrder(perm); err != nil {
+				return fail(err)
+			}
+		}
+		initialOrder = m.Order(c.NumQubits)
+	} else if !m.OrderIsIdentity() && len(opts.KeepAlive) == 0 {
+		m.ResetOrder()
+	}
+
 	startLookups, startHits := m.CN.Stats()
 	state := m.BasisState(c.NumQubits, opts.InitialState)
 	res := &Result{
@@ -117,6 +168,7 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 		NumQubits:    c.NumQubits,
 		GateCount:    c.Len(),
 		StrategyName: strategy.Name(),
+		InitialOrder: initialOrder,
 	}
 	if opts.CollectSizeHistory {
 		res.SizeHistory = make([]int, 0, c.Len())
@@ -139,6 +191,18 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 		start:        time.Now(),
 		startLookups: startLookups,
 		startHits:    startHits,
+	}
+	if hasReorder && policy.Sift {
+		ses.sift = true
+		ses.siftThreshold = policy.SiftThreshold
+		if ses.siftThreshold <= 0 {
+			ses.siftThreshold = 4096
+		}
+		ses.siftMaxPasses = policy.SiftMaxPasses
+		if ses.siftMaxPasses <= 0 {
+			ses.siftMaxPasses = 2
+		}
+		ses.siftCfg = dd.SiftConfig{MaxVars: policy.SiftMaxVars}
 	}
 	return nil
 }
@@ -238,6 +302,9 @@ func (ses *Session) Finish() (*Result, error) {
 	res.Final = ses.state
 	res.FinalDDSize = dd.CountVNodes(ses.state)
 	m := ses.sim.M
+	if res.InitialOrder != nil {
+		res.FinalOrder = m.Order(res.NumQubits)
+	}
 	res.DDStats = m.Stats()
 	endLookups, endHits := m.CN.Stats()
 	res.WeightTable = WeightTableStats{
@@ -363,6 +430,7 @@ func (ses *Session) step() error {
 		ses.state = newState
 		ses.obs.OnApproximation(*round)
 	}
+	ses.maybeSift(i, size, round != nil)
 	if live := m.Pool().Live; live > ses.highWater {
 		roots := append([]dd.VEdge{ses.state}, ses.opts.KeepAlive...)
 		mRoots := make([]dd.MEdge, 0, len(ses.gateCache))
@@ -381,4 +449,44 @@ func (ses *Session) step() error {
 	}
 	ses.next = i + 1
 	return nil
+}
+
+// maybeSift runs one dynamic variable-reordering pass at the between-gate
+// safe point when sifting is enabled and the state has outgrown the trigger
+// threshold. The pass is an exact transformation (amplitudes are unchanged,
+// so no fidelity round is recorded); the session drops its gate cache — the
+// cached operation DDs were built under the old order — and the pass's
+// closing Cleanup returns both the stale gates and the exploration
+// transients to the node pools.
+func (ses *Session) maybeSift(gateIdx, size int, approximated bool) {
+	if !ses.sift || ses.res.SiftPasses >= ses.siftMaxPasses {
+		return
+	}
+	if approximated {
+		// An approximation round replaced the state after `size` was
+		// counted; only then is a recount needed.
+		size = dd.CountVNodes(ses.state)
+	}
+	if size <= ses.siftThreshold {
+		return
+	}
+	m := ses.sim.M
+	roots, rep := m.Sift(ses.c.NumQubits, []dd.VEdge{ses.state}, ses.siftCfg)
+	ses.state = roots[0]
+	clear(ses.gateCache)
+	ses.res.SiftPasses++
+	ses.res.SiftSwaps += rep.Swaps
+	// Raise the trigger past the size sifting reached: if the pass could
+	// not compress below the threshold, re-running it after every gate
+	// would only burn time.
+	if t := 2 * rep.SizeAfter; t > ses.siftThreshold {
+		ses.siftThreshold = t
+	}
+	ses.obs.OnReorder(core.ReorderEvent{
+		GateIndex:  gateIdx,
+		SizeBefore: rep.SizeBefore,
+		SizeAfter:  rep.SizeAfter,
+		Swaps:      rep.Swaps,
+		Order:      m.Order(ses.c.NumQubits),
+	})
 }

@@ -304,14 +304,16 @@ func TestSessionAbortKeepsKeepAliveRoots(t *testing.T) {
 
 // countingObserver records the event stream.
 type countingObserver struct {
-	gates, rounds, cleanups, finishes int
-	lastGate                          core.GateEvent
-	finish                            core.FinishEvent
+	gates, rounds, cleanups, reorders, finishes int
+	lastGate                                    core.GateEvent
+	lastReorder                                 core.ReorderEvent
+	finish                                      core.FinishEvent
 }
 
 func (o *countingObserver) OnGate(e core.GateEvent)       { o.gates++; o.lastGate = e }
 func (o *countingObserver) OnApproximation(r core.Round)  { o.rounds++ }
 func (o *countingObserver) OnCleanup(e core.CleanupEvent) { o.cleanups++ }
+func (o *countingObserver) OnReorder(e core.ReorderEvent) { o.reorders++; o.lastReorder = e }
 func (o *countingObserver) OnFinish(e core.FinishEvent)   { o.finishes++; o.finish = e }
 
 func TestObserverSeesEveryEvent(t *testing.T) {

@@ -95,8 +95,20 @@ type Result struct {
 	Runtime time.Duration
 	// StrategyName identifies the approximation strategy used.
 	StrategyName string
-	// Cleanups counts mark-sweep node-pool collections.
+	// Cleanups counts occupancy-triggered mark-sweep node-pool collections
+	// (one OnCleanup event each). Sifting passes end in their own sweep,
+	// reported via OnReorder and included in DDStats.Cleanups only.
 	Cleanups int
+	// InitialOrder and FinalOrder record the qubit→level variable order the
+	// run started and ended under (nil when no reordering strategy was
+	// active, i.e. the identity order throughout). They differ only when
+	// dynamic sifting passes ran.
+	InitialOrder []int
+	FinalOrder   []int
+	// SiftPasses and SiftSwaps count dynamic reordering passes and the
+	// adjacent-level swaps they performed.
+	SiftPasses int
+	SiftSwaps  int
 	// Measurements lists mid-circuit measurement outcomes in gate order.
 	Measurements []Measurement
 	// DDStats snapshots the manager's memory-system counters (unique-table
@@ -169,6 +181,9 @@ func (s *Simulator) gateDD(g circuit.Gate, n int, cache map[string]dd.MEdge) (dd
 		cache[sig] = e
 		return e, nil
 	case circuit.KindPerm:
+		if !s.M.OrderIsIdentity() {
+			return dd.MEdge{}, fmt.Errorf("permutation gates require the identity variable order")
+		}
 		base, err := s.M.MakePermutationDD(g.Perm)
 		if err != nil {
 			return dd.MEdge{}, err

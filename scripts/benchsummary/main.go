@@ -1,0 +1,357 @@
+// Command benchsummary turns the raw `go test -json` benchmark stream that
+// `make bench-smoke` captures (BENCH_dd.json) into a parsed, stable-schema
+// BENCH_summary.json, and doubles as the CI perf-regression gate:
+//
+//	benchsummary -in BENCH_dd.json -out BENCH_summary.json
+//	benchsummary -check -baseline bench_baseline.json -summary BENCH_summary.json
+//
+// Summary schema (bench-summary/v1): benchmark name (CPU-count suffix
+// stripped) → ns/op, allocs/op, B/op, and any custom metrics the benchmark
+// reported (e.g. peak_nodes from BenchmarkSessionOrdering).
+//
+// In -check mode the tool fails (exit 1) when
+//
+//   - a baseline benchmark matching -match is missing from the summary, or
+//   - its ns/op regressed by more than -threshold (relative, after scaling
+//     the baseline by the machines' calibration ratio; -min-ns optionally
+//     floors out benchmarks measured too briefly to trust), or
+//   - the ordering win disappeared: BenchmarkSessionOrdering/scored must
+//     keep its peak_nodes metric below BenchmarkSessionOrdering/identity.
+//
+// New benchmarks absent from the baseline pass with a note; refresh the
+// committed baseline with `make bench-baseline`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema is the summary format identifier.
+const Schema = "bench-summary/v1"
+
+// Summary is the BENCH_summary.json document.
+type Summary struct {
+	Schema string `json:"schema"`
+	// CalibrationNs is the runtime of a fixed arithmetic loop measured
+	// while the summary was produced (min of several runs). The check
+	// scales baseline ns/op by the calibration ratio, so the gate compares
+	// work, not machine speed — the committed baseline stays meaningful on
+	// faster/slower/throttled runners.
+	CalibrationNs float64              `json:"calibration_ns"`
+	Benchmarks    map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+func main() {
+	in := flag.String("in", "BENCH_dd.json", "go test -json stream to parse")
+	out := flag.String("out", "BENCH_summary.json", "summary file to write")
+	check := flag.Bool("check", false, "compare -summary against -baseline instead of parsing")
+	baseline := flag.String("baseline", "bench_baseline.json", "committed baseline summary (check mode)")
+	summaryPath := flag.String("summary", "BENCH_summary.json", "freshly produced summary (check mode)")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression that fails the gate")
+	minNs := flag.Float64("min-ns", 0, "ignore ns/op regressions when the baseline is below this floor (escape hatch for benchmarks too small for their -benchtime)")
+	// The multi-worker BatchRun configurations measure parallel scaling,
+	// which depends on ambient machine load no calibration can correct, so
+	// the gate covers the Batch engine through its serial configuration.
+	match := flag.String("match", `Gate|Session|BatchRun/workers1$`, "regexp selecting the gated benchmarks")
+	flag.Parse()
+
+	if *check {
+		if err := runCheck(*baseline, *summaryPath, *threshold, *minNs, *match); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runSummarize(*in, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runSummarize(in, out string) error {
+	sum, err := parseStream(in)
+	if err != nil {
+		return err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", in)
+	}
+	sum.CalibrationNs = calibrate()
+	raw, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchsummary: %d benchmarks -> %s\n", len(sum.Benchmarks), out)
+	return nil
+}
+
+// parseStream reconstructs each package's plain-text output from the JSON
+// event stream (go test splits single result lines across events) and parses
+// every benchmark result line.
+func parseStream(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	perPkg := map[string]*strings.Builder{}
+	var pkgs []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON noise (build warnings interleaved).
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := perPkg[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// bench-smoke runs every benchmark -count times; keep the fastest run
+	// per name (the noise-robust estimator — the minimum is the run least
+	// disturbed by the machine), so the 1-iteration numbers are stable
+	// enough for a relative regression gate.
+	sum := &Summary{Schema: Schema, Benchmarks: map[string]Benchmark{}}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			name, bench, ok := parseResultLine(line)
+			if !ok {
+				continue
+			}
+			if prev, seen := sum.Benchmarks[name]; !seen || bench.NsPerOp < prev.NsPerOp {
+				sum.Benchmarks[name] = bench
+			}
+		}
+	}
+	return sum, nil
+}
+
+// calibSink keeps the calibration loop's result observable so the compiler
+// cannot elide it.
+var calibSink uint64
+
+// calibrate times a fixed SplitMix64 chain (single-threaded, cache-resident,
+// allocation-free) and returns the fastest of several runs in nanoseconds —
+// a pure CPU-speed probe under the same machine conditions as the
+// benchmarks it accompanies.
+func calibrate() float64 {
+	best := 0.0
+	for run := 0; run < 5; run++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		start := time.Now()
+		for i := 0; i < 50_000_000; i++ {
+			x ^= x >> 30
+			x *= 0xBF58476D1CE4E5B9
+			x ^= x >> 27
+			x *= 0x94D049BB133111EB
+			x ^= x >> 31
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		calibSink += x
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best
+}
+
+// procSuffix strips the trailing GOMAXPROCS suffix from a benchmark name
+// ("BenchmarkFoo/sub-8" → "BenchmarkFoo/sub").
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseResultLine parses one "BenchmarkX-8  N  123 ns/op  45 B/op ..." line.
+func parseResultLine(line string) (string, Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Benchmark{}, false
+	}
+	// "#NN"-suffixed names are go test's disambiguation of duplicate
+	// registrations (e.g. a workers=GOMAXPROCS sub-benchmark colliding
+	// with an explicit workers=N one). Which name collides depends on the
+	// machine's CPU count, so these must not enter a summary that is
+	// compared across machines.
+	if strings.Contains(line, "#") {
+		return "", Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// name, iteration count, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", Benchmark{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", Benchmark{}, false
+	}
+	b := Benchmark{}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp, sawNs = val, true
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		case "MB/s":
+			// throughput is derivable from ns/op; skip
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	if !sawNs {
+		return "", Benchmark{}, false
+	}
+	return procSuffix.ReplaceAllString(fields[0], ""), b, true
+}
+
+func loadSummary(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, Schema)
+	}
+	return &s, nil
+}
+
+func runCheck(baselinePath, summaryPath string, threshold, minNs float64, match string) error {
+	matcher, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match: %w", err)
+	}
+	base, err := loadSummary(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadSummary(summaryPath)
+	if err != nil {
+		return err
+	}
+
+	// Normalize for machine speed: scale the baseline by the calibration
+	// ratio (how much slower/faster this machine ran the probe than the
+	// baseline machine), clamped so a corrupt calibration cannot disable
+	// the gate.
+	speed := 1.0
+	if base.CalibrationNs > 0 && cur.CalibrationNs > 0 {
+		speed = cur.CalibrationNs / base.CalibrationNs
+		if speed < 0.25 {
+			speed = 0.25
+		}
+		if speed > 4 {
+			speed = 4
+		}
+	}
+
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	checked := 0
+	for _, name := range names {
+		if !matcher.MatchString(name) {
+			continue
+		}
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from summary", name))
+			continue
+		}
+		checked++
+		if b.NsPerOp < minNs {
+			continue // too small to measure at one iteration
+		}
+		allowed := b.NsPerOp * speed * (1 + threshold)
+		if c.NsPerOp > allowed {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (+%.0f%% speed-adjusted, gate is +%.0f%%)",
+				name, b.NsPerOp*speed, c.NsPerOp, 100*(c.NsPerOp/(b.NsPerOp*speed)-1), 100*threshold))
+		}
+	}
+
+	// The ordering win is part of the gate: the scored ordering must keep
+	// its peak below identity on the pairs workload.
+	ident, okI := cur.Benchmarks["BenchmarkSessionOrdering/identity"]
+	scored, okS := cur.Benchmarks["BenchmarkSessionOrdering/scored"]
+	switch {
+	case !okI || !okS:
+		failures = append(failures, "BenchmarkSessionOrdering/{identity,scored}: missing from summary (ordering win unverified)")
+	case scored.Metrics["peak_nodes"] <= 0 || ident.Metrics["peak_nodes"] <= 0:
+		failures = append(failures, "BenchmarkSessionOrdering: peak_nodes metric missing")
+	case scored.Metrics["peak_nodes"] >= ident.Metrics["peak_nodes"]:
+		failures = append(failures, fmt.Sprintf(
+			"BenchmarkSessionOrdering: scored peak_nodes %.0f did not improve on identity %.0f",
+			scored.Metrics["peak_nodes"], ident.Metrics["peak_nodes"]))
+	}
+
+	for name := range cur.Benchmarks {
+		if matcher.MatchString(name) {
+			if _, ok := base.Benchmarks[name]; !ok {
+				fmt.Printf("benchsummary: note: %s is new (not in baseline); run `make bench-baseline` to pin it\n", name)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed (machine speed ratio %.2f):\n  %s", speed, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchsummary: perf gate OK (%d benchmarks checked, threshold +%.0f%%, machine speed ratio %.2f, ordering win verified: scored %.0f < identity %.0f peak nodes)\n",
+		checked, 100*threshold, speed, scored.Metrics["peak_nodes"], ident.Metrics["peak_nodes"])
+	return nil
+}

@@ -19,6 +19,24 @@ fail() {
 	exit 1
 }
 
+# retry_until DEADLINE_SECONDS CMD...: a bounded retry loop driven by wall
+# clock, not a fixed sleep count, so the smoke test tolerates loaded CI
+# runners. The probe runs immediately, then with exponentially growing
+# sleeps (50 ms up to 1 s) until it succeeds or the deadline passes; the
+# caller handles failure. The overall budget is SIMD_SMOKE_TIMEOUT seconds
+# per wait (default 60).
+retry_until() {
+	rt_deadline=$(($(date +%s) + $1))
+	shift
+	rt_delay=0.05
+	until "$@"; do
+		[ "$(date +%s)" -lt "$rt_deadline" ] || return 1
+		sleep "$rt_delay"
+		rt_delay=$(awk -v d="$rt_delay" 'BEGIN { d *= 2; if (d > 1) d = 1; print d }')
+	done
+}
+WAIT="${SIMD_SMOKE_TIMEOUT:-60}"
+
 go build -o "$BIN" ./cmd/simd || fail "build"
 
 "$BIN" -addr "$ADDR" -workers 2 -grace 5s >"$LOG" 2>&1 &
@@ -26,12 +44,8 @@ SIMD_PID=$!
 trap 'kill "$SIMD_PID" 2>/dev/null || true' EXIT INT TERM
 
 # Wait for the health endpoint.
-i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
-	i=$((i + 1))
-	[ "$i" -lt 100 ] || fail "server never became healthy on $ADDR"
-	sleep 0.1
-done
+healthy() { curl -sf "$BASE/healthz" >/dev/null 2>&1; }
+retry_until "$WAIT" healthy || fail "server never became healthy on $ADDR within ${WAIT}s"
 
 BODY='{"name":"ghz4","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\n","strategy":"fidelity","final_fidelity":0.8,"round_fidelity":0.9,"shots":64}'
 
@@ -40,19 +54,17 @@ RESP="$(curl -sf -X POST -d "$BODY" "$BASE/v1/jobs")" || fail "submit"
 JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
 [ -n "$JOB" ] || fail "no job id in: $RESP"
 
-# Poll until the job leaves queued/running.
-i=0
-while :; do
+# Poll until the job leaves queued/running (a terminal non-done status
+# fails immediately rather than burning the deadline).
+job_done() {
 	ST="$(curl -sf "$BASE/v1/jobs/$JOB")" || fail "poll"
 	case "$ST" in
-	*'"status":"done"'*) break ;;
-	*'"status":"queued"'* | *'"status":"running"'*) ;;
+	*'"status":"done"'*) return 0 ;;
+	*'"status":"queued"'* | *'"status":"running"'*) return 1 ;;
 	*) fail "job ended badly: $ST" ;;
 	esac
-	i=$((i + 1))
-	[ "$i" -lt 200 ] || fail "job never finished: $ST"
-	sleep 0.1
-done
+}
+retry_until "$WAIT" job_done || fail "job never finished within ${WAIT}s: $ST"
 
 # The finished job must expose a result with the right shape.
 RES="$(curl -sf "$BASE/v1/jobs/$JOB/result")" || fail "result fetch"
@@ -98,14 +110,26 @@ case "$STREAM_OUT" in
 *) fail "typed client stream carried no approximation rounds: $STREAM_OUT" ;;
 esac
 
+# The reorder strategy must be routable end-to-end: the entangled-pairs
+# workload under the scored ordering has to peak below the identity order.
+PAIRS='OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[8];\nh q[0];\nh q[1];\nh q[2];\nh q[3];\ncx q[0],q[4];\ncx q[1],q[5];\ncx q[2],q[6];\ncx q[3],q[7];\n'
+peak_for_order() {
+	RB='{"name":"pairs-'$1'","qasm":"'$PAIRS'","strategy":"reorder","strategy_params":{"order":"'$1'"}}'
+	RESP="$(curl -sf -X POST -d "$RB" "$BASE/v1/jobs")" || fail "reorder submit ($1)"
+	JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+	[ -n "$JOB" ] || fail "no job id in: $RESP"
+	retry_until "$WAIT" job_done || fail "reorder job ($1) never finished: $ST"
+	curl -sf "$BASE/v1/jobs/$JOB/result" | sed -n 's/.*"max_dd_size":\([0-9]*\).*/\1/p'
+}
+IDENT_PEAK="$(peak_for_order identity)"
+SCORED_PEAK="$(peak_for_order scored)"
+[ -n "$IDENT_PEAK" ] && [ -n "$SCORED_PEAK" ] || fail "reorder results missing max_dd_size (identity='$IDENT_PEAK' scored='$SCORED_PEAK')"
+[ "$SCORED_PEAK" -lt "$IDENT_PEAK" ] || fail "scored ordering did not shrink the DD over HTTP (identity $IDENT_PEAK, scored $SCORED_PEAK)"
+
 # Graceful shutdown on SIGTERM.
 kill "$SIMD_PID"
-i=0
-while kill -0 "$SIMD_PID" 2>/dev/null; do
-	i=$((i + 1))
-	[ "$i" -lt 100 ] || fail "server did not shut down on SIGTERM"
-	sleep 0.1
-done
+server_gone() { ! kill -0 "$SIMD_PID" 2>/dev/null; }
+retry_until "$WAIT" server_gone || fail "server did not shut down on SIGTERM within ${WAIT}s"
 trap - EXIT INT TERM
 
-echo "simd-smoke: OK (job $JOB simulated, cache hit verified, SSE + typed client round-trip passed)"
+echo "simd-smoke: OK (job simulated, cache hit verified, SSE + typed client round-trip passed, reorder peak $IDENT_PEAK -> $SCORED_PEAK)"
