@@ -10,6 +10,11 @@ GO ?= go
 # at -benchtime 100ms so even ns-scale results are statistically solid).
 BENCH_CHECK_THRESHOLD ?= 0.25
 BENCH_CHECK_MIN_NS ?= 0
+# Parallel-scaling gate: required workers1/workers4 speedup (self-skips on
+# runners with fewer than 4 CPUs) and required allocs+bytes reduction of the
+# reused-manager arena configuration over fresh managers. 0 disables either.
+BENCH_CHECK_MIN_SCALING ?= 2.5
+BENCH_CHECK_MIN_ALLOC_FACTOR ?= 5
 
 .PHONY: all build test race bench bench-smoke bench-check bench-baseline examples fmt fmt-check vet doc-lint simd-smoke ci
 
@@ -43,14 +48,18 @@ bench-smoke:
 	$(GO) run ./scripts/benchsummary -in BENCH_dd.json -out BENCH_summary.json
 
 ## bench-check: the perf-regression gate — fail when a Gate/Batch/Session
-## benchmark's ns/op regressed more than BENCH_CHECK_THRESHOLD against the
-## committed bench_baseline.json, or when the ordering benchmark stops
-## showing scored < identity peak nodes. Runs bench-smoke first so the
-## summary is fresh.
+## benchmark's ns/op, allocs/op, or B/op regressed more than
+## BENCH_CHECK_THRESHOLD against the committed bench_baseline.json, when
+## BatchRun stops scaling (workers4 vs workers1, 4+ CPU runners only) or the
+## arena configuration stops cutting allocations, or when the ordering
+## benchmark stops showing scored < identity peak nodes. Runs bench-smoke
+## first so the summary is fresh.
 bench-check: bench-smoke
 	$(GO) run ./scripts/benchsummary -check \
 		-baseline bench_baseline.json -summary BENCH_summary.json \
-		-threshold $(BENCH_CHECK_THRESHOLD) -min-ns $(BENCH_CHECK_MIN_NS)
+		-threshold $(BENCH_CHECK_THRESHOLD) -min-ns $(BENCH_CHECK_MIN_NS) \
+		-min-scaling $(BENCH_CHECK_MIN_SCALING) \
+		-min-alloc-factor $(BENCH_CHECK_MIN_ALLOC_FACTOR)
 
 ## bench-baseline: refresh the committed perf baseline from a fresh
 ## bench-smoke run (commit the resulting bench_baseline.json)

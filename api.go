@@ -145,11 +145,36 @@ type (
 	BatchJob = batch.Job
 	// BatchJobResult is the outcome of one batch job.
 	BatchJobResult = batch.JobResult
-	// BatchOptions configures a batch run (worker count, base seed,
-	// per-job timeout, progress callback).
+	// BatchOptions is the underlying representation of a batch
+	// configuration; build one with NewBatchOptions and the batch With…
+	// options, or fill the struct directly.
 	BatchOptions = batch.Options
+	// BatchOption is one functional batch option (WithWorkers,
+	// WithReuseManagers, WithArena, …), accepted by BatchRun.
+	BatchOption = batch.Option
 	// BatchResult aggregates a finished batch.
 	BatchResult = batch.Result
+	// BatchArenaConfig sizes the per-worker memory arenas used when
+	// managers are reused (WithArena).
+	BatchArenaConfig = batch.ArenaConfig
+	// BatchObserver receives batch-lifecycle events (per-job start/done,
+	// per-worker summaries) on the worker goroutines.
+	BatchObserver = batch.Observer
+	// BatchWorkerStats aggregates one worker's jobs, busy time, and arena
+	// occupancy (BatchResult.PerWorker, pool state snapshots).
+	BatchWorkerStats = batch.WorkerStats
+)
+
+// Typed batch submission/cancellation errors, re-exported so callers can
+// errors.Is against pool outcomes without importing internal packages. The
+// client package re-exports the same sentinels for HTTP callers.
+var (
+	// ErrBatchQueueFull: the service/pool queue was full (load shedding).
+	ErrBatchQueueFull = batch.ErrQueueFull
+	// ErrBatchShutdown: the pool stopped accepting jobs.
+	ErrBatchShutdown = batch.ErrShutdown
+	// ErrBatchCanceled: the job was canceled without a custom cause.
+	ErrBatchCanceled = batch.ErrCanceled
 )
 
 // Simulation service (the asynchronous HTTP/JSON frontend of internal/serve,
@@ -190,12 +215,59 @@ func Serve(ctx context.Context, addr string, cfg ServeConfig, grace time.Duratio
 }
 
 // BatchRun fans independent simulation jobs out across a worker pool, one
-// DD manager per worker, with deterministic per-job seeding derived from
-// BatchOptions.BaseSeed, context-based cancellation, and per-job deadlines.
-// Results are ordered by job index and are identical for any worker count
-// (timing fields aside).
-func BatchRun(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchResult, error) {
+// DD manager per worker, configured by functional options:
+//
+//	res, err := repro.BatchRun(ctx, jobs,
+//		repro.WithWorkers(4),
+//		repro.WithArena(repro.BatchArenaConfig{PrewarmNodes: 1 << 16}))
+//
+// Seeding is deterministic per job (derived from the base seed and the job
+// index), cancellation is context-based, and per-job deadlines are
+// supported. Results are ordered by job index and are bit-identical for any
+// worker count and manager-reuse mode (timing fields aside).
+func BatchRun(ctx context.Context, jobs []BatchJob, opts ...BatchOption) (*BatchResult, error) {
+	return batch.Run(ctx, jobs, batch.NewOptions(opts...))
+}
+
+// BatchRunOptions is BatchRun taking the underlying options struct.
+//
+// Deprecated: use BatchRun with functional options, or NewBatchOptions to
+// build the struct.
+func BatchRunOptions(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchResult, error) {
 	return batch.Run(ctx, jobs, opts)
+}
+
+// NewBatchOptions folds functional batch options into a BatchOptions value,
+// for APIs that take the struct.
+func NewBatchOptions(opts ...BatchOption) BatchOptions { return batch.NewOptions(opts...) }
+
+// Functional batch options, re-exported from internal/batch.
+
+// WithWorkers sets the batch worker-pool size (≤ 0 selects GOMAXPROCS).
+func WithWorkers(n int) BatchOption { return batch.WithWorkers(n) }
+
+// WithBaseSeed sets the base seed per-job measurement seeds derive from.
+func WithBaseSeed(seed int64) BatchOption { return batch.WithBaseSeed(seed) }
+
+// WithJobTimeout bounds every job's simulation (BatchJob.Timeout overrides
+// it per job).
+func WithJobTimeout(d time.Duration) BatchOption { return batch.WithJobTimeout(d) }
+
+// WithReuseManagers keeps one DD manager per worker, reset between jobs:
+// warm memory, bit-identical results.
+func WithReuseManagers() BatchOption { return batch.WithReuseManagers() }
+
+// WithArena enables manager reuse with explicit arena sizing (pre-warmed
+// node pools, bounded retention across batches).
+func WithArena(cfg BatchArenaConfig) BatchOption { return batch.WithArena(cfg) }
+
+// WithBatchObserver wires a batch-lifecycle observer into the run.
+func WithBatchObserver(obs BatchObserver) BatchOption { return batch.WithObserver(obs) }
+
+// WithBatchProgress registers a serialized progress callback invoked after
+// each job finishes.
+func WithBatchProgress(fn func(done, total int, r BatchJobResult)) BatchOption {
+	return batch.WithProgress(fn)
 }
 
 // BatchSeed returns the measurement seed the batch engine derives for the

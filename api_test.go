@@ -306,7 +306,8 @@ func TestFacadeBatchRun(t *testing.T) {
 			},
 		}
 	}
-	res, err := repro.BatchRun(context.Background(), jobs, repro.BatchOptions{Workers: 3, BaseSeed: 5})
+	res, err := repro.BatchRun(context.Background(), jobs,
+		repro.WithWorkers(3), repro.WithBaseSeed(5), repro.WithReuseManagers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,6 +328,16 @@ func TestFacadeBatchRun(t *testing.T) {
 	}
 	if res.CPUTime <= 0 || res.WallTime <= 0 {
 		t.Errorf("missing time accounting: cpu=%v wall=%v", res.CPUTime, res.WallTime)
+	}
+	jobsSeen := 0
+	for w, ws := range res.PerWorker {
+		jobsSeen += ws.Jobs
+		if ws.Jobs > 0 && ws.ArenaNodes == 0 {
+			t.Errorf("worker %d ran %d jobs but reports no arena occupancy", w, ws.Jobs)
+		}
+	}
+	if jobsSeen != len(jobs) {
+		t.Errorf("per-worker job counts sum to %d, want %d", jobsSeen, len(jobs))
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/serve"
 )
 
@@ -52,6 +53,11 @@ type (
 	ResultPayload = serve.ResultPayload
 	// Stats is the GET /v1/stats body.
 	Stats = serve.Stats
+	// PoolState is the worker-pool snapshot in Stats, including per-worker
+	// utilization and arena occupancy.
+	PoolState = batch.PoolState
+	// PoolWorkerState is one worker's entry in PoolState.PerWorker.
+	PoolWorkerState = batch.PoolWorkerState
 	// ReorderStats aggregates variable-reordering activity in Stats.
 	ReorderStats = serve.ReorderStats
 	// Event is one entry of a job's event stream.
@@ -78,14 +84,45 @@ const (
 	StatusDeadline = serve.StatusDeadline
 )
 
+// Typed service errors, shared with the batch engine end to end: the
+// service tags rejections with a machine-readable code, and APIError maps
+// the code back so errors.Is(err, client.ErrQueueFull) works against the
+// same sentinel values the in-process pool returns.
+var (
+	// ErrQueueFull: the submission queue was full (HTTP 503, load shed) —
+	// retry after a backoff.
+	ErrQueueFull = batch.ErrQueueFull
+	// ErrShutdown: the service stopped accepting jobs.
+	ErrShutdown = batch.ErrShutdown
+	// ErrCanceled: the job was canceled.
+	ErrCanceled = batch.ErrCanceled
+)
+
 // APIError is a non-2xx response decoded from the service's error envelope.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Code is the service's machine-readable error code ("queue_full",
+	// "shutdown", "canceled"), empty for untyped errors.
+	Code string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("simd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap maps the error code to its typed sentinel, making APIError
+// errors.Is-able against ErrQueueFull, ErrShutdown, and ErrCanceled.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case serve.CodeQueueFull:
+		return ErrQueueFull
+	case serve.CodeShutdown:
+		return ErrShutdown
+	case serve.CodeCanceled:
+		return ErrCanceled
+	}
+	return nil
 }
 
 // Temporary reports whether retrying the same request can succeed (queue
@@ -371,6 +408,7 @@ func decodeAPIError(resp *http.Response) error {
 	var env struct {
 		Error  string `json:"error"`
 		Status string `json:"status"`
+		Code   string `json:"code"`
 	}
 	msg := strings.TrimSpace(string(raw))
 	if err := json.Unmarshal(raw, &env); err == nil {
@@ -383,5 +421,5 @@ func decodeAPIError(resp *http.Response) error {
 			msg = env.Status
 		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: env.Code}
 }

@@ -243,3 +243,69 @@ func TestRetriesTransientFailures(t *testing.T) {
 		t.Error("unbounded retries?")
 	}
 }
+
+// TestErrorCodesMapToSentinels pins the cross-boundary error contract: the
+// service's machine-readable "code" field maps back to the batch package's
+// typed sentinels, so errors.Is works across the HTTP boundary without
+// message matching.
+func TestErrorCodesMapToSentinels(t *testing.T) {
+	cases := []struct {
+		code   string
+		status int
+		want   error
+	}{
+		{"queue_full", http.StatusServiceUnavailable, ErrQueueFull},
+		{"shutdown", http.StatusServiceUnavailable, ErrShutdown},
+		{"canceled", http.StatusConflict, ErrCanceled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				json.NewEncoder(w).Encode(map[string]string{"error": "nope", "code": tc.code})
+			}))
+			defer backend.Close()
+			cl := New(backend.URL, WithRetries(0, 0))
+			_, err := cl.Submit(t.Context(), JobRequest{QASM: bellQASM})
+			if !errors.Is(err, tc.want) {
+				t.Errorf("code %q: errors.Is(%v, %v) = false", tc.code, err, tc.want)
+			}
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.Code != tc.code {
+				t.Errorf("code %q not carried on APIError: %v", tc.code, err)
+			}
+		})
+	}
+}
+
+// TestQueueFullSentinelEndToEnd drives a real server into queue overflow and
+// asserts the client classifies the refusal via the typed sentinel.
+func TestQueueFullSentinelEndToEnd(t *testing.T) {
+	cl := newService(t, serve.Config{Workers: 1, QueueDepth: 1})
+	ctx := t.Context()
+	first, err := cl.Submit(ctx, slowRequest("head"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cl.Status(ctx, first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("head job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := cl.Submit(ctx, slowRequest("fill")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Submit(ctx, slowRequest("overflow"))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow submit: errors.Is(err, ErrQueueFull) = false: %v", err)
+	}
+}

@@ -40,7 +40,7 @@ func main() {
 	scale := flag.String("scale", benchtab.PresetSmall, "preset: small, medium, or paper")
 	parallel := flag.Int("parallel", 1, "simulation workers for Table I and the sweeps (0 = one per CPU)")
 	verbose := flag.Bool("verbose", false, "append DD memory-system statistics (per-cache hits/misses/evictions, node pool, weight table)")
-	reuse := flag.Bool("reuse", false, "keep one DD manager per worker across sweep jobs, recycling pooled node memory (drops bit-reproducibility across worker counts)")
+	reuse := flag.Bool("reuse", false, "keep one DD manager per worker across sweep jobs, resetting it between jobs (results stay bit-identical; warm jobs run out of retained pool memory)")
 	seed := flag.Int64("seed", 0, "base seed for per-job measurement seeds")
 	flag.Parse()
 	workers := benchtab.Workers(*parallel)

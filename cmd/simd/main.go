@@ -45,7 +45,9 @@ func main() {
 	maxShots := flag.Int("max-shots", 0, "reject submissions requesting more samples (0 = unlimited)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained finished jobs before the oldest are evicted (0 = unlimited)")
 	events := flag.Int("events", 1024, "per-job event buffer for GET /v1/jobs/{id}/events (oldest events evicted beyond this)")
-	reuse := flag.Bool("reuse", false, "reuse DD managers across jobs (faster; uncached results not bit-reproducible)")
+	reuse := flag.Bool("reuse", false, "reuse DD managers across jobs (warm memory; results stay bit-identical)")
+	prewarm := flag.Int("prewarm", 0, "pre-allocate this many DD node slots per worker (implies -reuse)")
+	retain := flag.Int("retain", 0, "trim a worker arena above this node capacity when idle (0 = unbounded; implies -reuse)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs (0 = wait forever)")
 	flag.Parse()
 
@@ -58,8 +60,10 @@ func main() {
 		MaxShots:          *maxShots,
 		MaxJobs:           *maxJobs,
 		EventBufferSize:   *events,
-		ReuseManagers:     *reuse,
+		ReuseManagers:     *reuse || *prewarm > 0 || *retain > 0,
 	}
+	cfg.Arena.PrewarmNodes = *prewarm
+	cfg.Arena.MaxRetainedNodes = *retain
 	if cfg.MaxJobs == 0 {
 		cfg.MaxJobs = -1 // flag's 0 means unlimited; Config treats 0 as "default"
 	}

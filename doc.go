@@ -26,10 +26,11 @@
 // Batch simulation: the paper's tables and hyper-parameter sweeps are many
 // independent runs, and BatchRun fans them out across a worker pool (one DD
 // manager per worker) with deterministic per-job seeding, context
-// cancellation, and per-job deadlines. Results are identical for any worker
-// count, timing fields aside:
+// cancellation, and per-job deadlines. Results are bit-identical for any
+// worker count and manager-reuse mode, timing fields aside:
 //
-//	res, err := repro.BatchRun(ctx, jobs, repro.BatchOptions{Workers: 0})
+//	res, err := repro.BatchRun(ctx, jobs,
+//		repro.WithWorkers(4), repro.WithReuseManagers())
 //
 // The same engine backs Table1Suite.RunMemoryDrivenBatch /
 // RunFidelityDrivenBatch and the benchtab sweep drivers; the table1 and

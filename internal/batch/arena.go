@@ -1,0 +1,46 @@
+package batch
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Process-wide arena of reset simulators. Workers draw from it at batch
+// start and return their simulator at batch end, so the node-pool chunks,
+// cache backings, and interned-weight arenas a batch grows are reused by the
+// next batch instead of being re-allocated — the dominant cost of short
+// repeated batches (benchmark sweeps, the HTTP service under load).
+//
+// Safety: sim.Simulator.Reset restores a simulator to a state that replays
+// any circuit bit-identically to a brand-new one (tested in internal/dd and
+// internal/batch), so drawing warm simulators never changes results. The
+// arena is a sync.Pool, so retained memory is dropped by the GC under
+// pressure rather than held forever.
+var simArena sync.Pool
+
+// acquireSim returns a reset simulator, warm when the arena has one.
+func acquireSim(cfg ArenaConfig) *sim.Simulator {
+	if v := simArena.Get(); v != nil {
+		s := v.(*sim.Simulator)
+		if cfg.PrewarmNodes > 0 {
+			s.M.Prewarm(cfg.PrewarmNodes) // no-op when already warm enough
+		}
+		return s
+	}
+	s := sim.New()
+	if cfg.PrewarmNodes > 0 {
+		s.M.Prewarm(cfg.PrewarmNodes)
+	}
+	return s
+}
+
+// releaseSim resets the simulator and returns it to the arena, trimming its
+// pools first when they outgrew the configured retention cap.
+func releaseSim(s *sim.Simulator, cfg ArenaConfig) {
+	s.Reset()
+	if cfg.MaxRetainedNodes > 0 && s.M.Pool().Capacity > cfg.MaxRetainedNodes {
+		s.M.TrimPools()
+	}
+	simArena.Put(s)
+}

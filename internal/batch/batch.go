@@ -75,13 +75,15 @@ type JobResult struct {
 	Err error
 }
 
-// Canceled reports whether the job was aborted by standard context
-// cancellation (either before starting or between gates) rather than
-// failing on its own. Run additionally classifies jobs aborted with a
-// custom cancellation cause (context.WithCancelCause) as canceled when
-// counting Result.Canceled.
+// Canceled reports whether the job was aborted by cancellation — standard
+// context cancellation, a context deadline, or the pool's ErrCanceled cause
+// (either before starting or between gates) — rather than failing on its
+// own. Run additionally classifies jobs aborted with a custom cancellation
+// cause (context.WithCancelCause) as canceled when counting Result.Canceled.
 func (r JobResult) Canceled() bool {
-	return errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
+	return errors.Is(r.Err, context.Canceled) ||
+		errors.Is(r.Err, context.DeadlineExceeded) ||
+		errors.Is(r.Err, ErrCanceled)
 }
 
 // Result aggregates a finished batch.
@@ -101,6 +103,9 @@ type Result struct {
 	CPUTime time.Duration
 	// Completed, Failed, and Canceled count jobs by outcome.
 	Completed, Failed, Canceled int
+	// PerWorker holds one aggregate entry per worker goroutine, indexed by
+	// worker id (JobResult.Worker).
+	PerWorker []WorkerStats
 }
 
 // Options configures a batch run.
@@ -116,16 +121,25 @@ type Options struct {
 	// per job). Zero means no limit.
 	JobTimeout time.Duration
 	// ReuseManagers keeps one manager per worker alive across that
-	// worker's jobs instead of resetting per job. Between jobs the worker
-	// recycles the manager's node pools (sim.Simulator.Recycle), so later
-	// jobs reuse pooled node memory and the warm complex-weight table
-	// instead of re-allocating; consequently a job's Result.Final is only
-	// valid until its worker starts the next job, and low-order digits of
-	// reported amplitudes depend on job-to-worker assignment (the
-	// complex-number table snaps values within tolerance to existing
-	// entries), so results are no longer bit-reproducible across worker
-	// counts.
+	// worker's jobs instead of building a fresh one per job. Between jobs
+	// the worker resets the manager (sim.Simulator.Reset), so later jobs
+	// allocate from warm node pools, cache backings, and the interned-weight
+	// arena instead of growing them from scratch. Reset restores bit-level
+	// reproducibility: every job's result is bit-identical to a run on a
+	// fresh manager regardless of worker count or job-to-worker assignment.
+	// The remaining trade-off is lifetime, not accuracy: a job's
+	// Result.Final is only valid until its worker starts the next job, so
+	// post-processing must happen in Job.Finalize.
 	ReuseManagers bool
+	// Arena sizes the per-worker memory arenas used when ReuseManagers is
+	// set (ignored otherwise); see ArenaConfig. Workers draw reset
+	// simulators from a process-wide arena at batch start and return them
+	// at batch end, so consecutive batches share warm memory.
+	Arena ArenaConfig
+	// Observer, when non-nil, receives batch-lifecycle events: per-job
+	// start/done on the job's worker, and one WorkerStats summary per
+	// worker. See Observer for the concurrency contract.
+	Observer Observer
 	// Progress, when non-nil, is called after each job finishes with the
 	// number of finished jobs, the total, and that job's result. Calls are
 	// serialized; done reaches total unless the batch is canceled.
@@ -149,7 +163,11 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	res := &Result{Jobs: make([]JobResult, len(jobs)), Workers: workers}
+	res := &Result{
+		Jobs:      make([]JobResult, len(jobs)),
+		Workers:   workers,
+		PerWorker: make([]WorkerStats, workers),
+	}
 	if len(jobs) == 0 {
 		return res, nil
 	}
@@ -175,19 +193,37 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Result, error) {
 			defer wg.Done()
 			var s *sim.Simulator
 			if opts.ReuseManagers {
-				s = sim.New()
+				s = acquireSim(opts.Arena)
+				defer releaseSim(s, opts.Arena)
 			}
+			ws := &res.PerWorker[worker] // workers only touch their own entry
 			first := true
 			for idx := range idxCh {
 				if s != nil && !first {
-					// Return the previous job's nodes to the pools; the
-					// next run then recycles memory instead of allocating.
-					s.Recycle()
+					// Reset — not merely recycle — so the next job replays
+					// bit-identically to a fresh manager while reusing the
+					// pools, cache backings, and weight arena.
+					s.Reset()
 				}
 				first = false
+				if opts.Observer != nil {
+					opts.Observer.OnJobStart(worker, idx, jobs[idx].Name)
+				}
 				jr := runJob(ctx, worker, idx, jobs[idx], opts, s)
 				res.Jobs[idx] = jr // each index is written exactly once
+				ws.Jobs++
+				ws.Busy += jr.Elapsed
+				if s != nil {
+					ws.ArenaNodes = s.M.Pool().Capacity
+					ws.ArenaWeights = s.M.CN.Size()
+				}
+				if opts.Observer != nil {
+					opts.Observer.OnJobDone(worker, jr)
+				}
 				report(jr)
+			}
+			if opts.Observer != nil {
+				opts.Observer.OnWorkerDone(worker, *ws)
 			}
 		}(w)
 	}

@@ -15,13 +15,15 @@
 // The engine guarantees determinism: a job's outcome depends only on its
 // circuit, its options, and the seed derived from the base seed and the
 // job (or submission) index — never on the worker it lands on or the
-// worker count. By default every job runs on a fresh manager, so node
+// worker count. By default every job runs on a fresh manager; with
+// ReuseManagers each worker keeps one manager and resets it between jobs,
+// reusing its node pools, cache backings, and interned-weight arena. Reset
+// restores the manager to a bit-level fresh state, so in both modes node
 // identities, value-table contents, and therefore every reported metric
 // are bit-identical between a serial (one-worker) and a parallel run; only
-// wall-clock timing fields differ. ReuseManagers trades this guarantee for
-// pooled node memory and a warm weight table carried from job to job; a
-// job's Result.Final is then only valid inside Job.Finalize, which runs on
-// the worker before the manager is recycled.
+// wall-clock timing fields differ. The one reuse trade-off is lifetime: a
+// job's Result.Final is only valid inside Job.Finalize, which runs on the
+// worker before the manager is reset for the next job.
 //
 // Cancellation is cooperative and two-level: the batch context (or a
 // Handle's Cancel) stops dispatch of not-yet-started jobs and aborts

@@ -11,13 +11,26 @@ import (
 	"repro/internal/sim"
 )
 
-// Pool submission errors.
+// Typed pool errors. Submit returns the first two; the third is the default
+// cancellation cause. All are errors.Is-able end to end: the HTTP service
+// maps them to error codes and the client maps the codes back to these
+// sentinels.
 var (
-	// ErrPoolClosed is returned by Submit after Close or Shutdown.
-	ErrPoolClosed = errors.New("batch: pool closed")
-	// ErrQueueFull is returned by Submit when the bounded queue is full.
+	// ErrShutdown is returned by Submit after Close or Shutdown.
+	ErrShutdown = errors.New("batch: pool closed")
+	// ErrQueueFull is returned by Submit when the bounded queue is full,
+	// so callers (e.g. an HTTP service) can shed load instead of blocking.
 	ErrQueueFull = errors.New("batch: pool queue full")
+	// ErrCanceled is the cancellation cause used by CancelAll and
+	// Handle.Cancel when the caller passes nil; JobResult.Canceled reports
+	// true for it.
+	ErrCanceled = errors.New("batch: job canceled")
 )
+
+// ErrPoolClosed is the former name of ErrShutdown.
+//
+// Deprecated: use ErrShutdown.
+var ErrPoolClosed = ErrShutdown
 
 // PoolOptions configures an open-ended worker pool.
 type PoolOptions struct {
@@ -37,10 +50,14 @@ type PoolOptions struct {
 	// own Timeout. Zero means no limit.
 	JobTimeout time.Duration
 	// ReuseManagers keeps one DD manager per worker alive across jobs,
-	// recycling pooled node memory between jobs (see Options.ReuseManagers
-	// for the trade-offs). A job's Result.Final is then only valid inside
+	// resetting it between jobs so warm pooled memory is reused while
+	// results stay bit-identical to fresh managers (see Options.
+	// ReuseManagers). A job's Result.Final is then only valid inside
 	// Job.Finalize.
 	ReuseManagers bool
+	// Arena sizes the per-worker memory arenas when ReuseManagers is set;
+	// see ArenaConfig.
+	Arena ArenaConfig
 }
 
 // Pool is the open-ended counterpart of Run: instead of executing one closed
@@ -50,8 +67,9 @@ type PoolOptions struct {
 //
 // The determinism contract matches Run: a job's outcome depends only on its
 // circuit, its options, and the seed derived from PoolOptions.BaseSeed and
-// its submission index — never on which worker runs it (ReuseManagers, as in
-// Run, trades the bit-level part of that guarantee for pooled memory).
+// its submission index — never on which worker runs it, in either manager
+// mode (ReuseManagers resets workers' managers between jobs, which keeps
+// results bit-identical while reusing their memory).
 type Pool struct {
 	opts    PoolOptions
 	workers int
@@ -67,10 +85,26 @@ type Pool struct {
 	closed bool
 	next   int
 
+	start time.Time
+
 	queued    atomic.Int64
 	running   atomic.Int64
 	finished  atomic.Int64
 	submitted atomic.Int64
+
+	perWorker []workerCounters
+}
+
+// workerCounters holds one worker's lifetime statistics, padded to a cache
+// line: every worker bumps its own counters after every job, and co-locating
+// two workers' hot counters on one line makes those updates contend
+// (false sharing) even though they touch disjoint fields.
+type workerCounters struct {
+	jobs         atomic.Int64
+	busyNanos    atomic.Int64
+	arenaNodes   atomic.Int64
+	arenaWeights atomic.Int64
+	_            [32]byte
 }
 
 // Handle tracks one submitted job through the pool.
@@ -97,12 +131,14 @@ func NewPool(opts PoolOptions) *Pool {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	p := &Pool{
-		opts:    opts,
-		workers: workers,
-		depth:   depth,
-		ctx:     ctx,
-		cancel:  cancel,
-		queue:   make(chan *Handle, depth),
+		opts:      opts,
+		workers:   workers,
+		depth:     depth,
+		ctx:       ctx,
+		cancel:    cancel,
+		queue:     make(chan *Handle, depth),
+		start:     time.Now(),
+		perWorker: make([]workerCounters, workers),
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
@@ -115,8 +151,10 @@ func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	var s *sim.Simulator
 	if p.opts.ReuseManagers {
-		s = sim.New()
+		s = acquireSim(p.opts.Arena)
+		defer releaseSim(s, p.opts.Arena)
 	}
+	wc := &p.perWorker[id]
 	first := true
 	opts := Options{
 		BaseSeed:   p.opts.BaseSeed,
@@ -125,14 +163,21 @@ func (p *Pool) worker(id int) {
 	for h := range p.queue {
 		p.queued.Add(-1)
 		if s != nil && !first {
-			// Return the previous job's nodes to the pools before the next
-			// run, as the closed-batch worker loop does.
-			s.Recycle()
+			// Reset — not merely recycle — so the next job replays
+			// bit-identically to a fresh manager on warm memory, as the
+			// closed-batch worker loop does.
+			s.Reset()
 		}
 		first = false
 		h.started.Store(true)
 		p.running.Add(1)
 		h.res = runJob(h.ctx, id, h.index, h.job, opts, s)
+		wc.jobs.Add(1)
+		wc.busyNanos.Add(int64(h.res.Elapsed))
+		if s != nil {
+			wc.arenaNodes.Store(int64(s.M.Pool().Capacity))
+			wc.arenaWeights.Store(int64(s.M.CN.Size()))
+		}
 		// Release the job context: this detaches it from the pool context's
 		// children (it would otherwise stay registered — and leak — for the
 		// pool's lifetime). The job is over, so the cause is never observed.
@@ -144,14 +189,14 @@ func (p *Pool) worker(id int) {
 }
 
 // Submit enqueues one job and returns its handle without blocking. It fails
-// with ErrQueueFull when the bounded queue is full and ErrPoolClosed after
+// with ErrQueueFull when the bounded queue is full and ErrShutdown after
 // Close/Shutdown. The job's measurement seed derives from the submission
 // index exactly as in a closed batch (see PoolOptions.BaseSeed).
 func (p *Pool) Submit(job Job) (*Handle, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return nil, ErrPoolClosed
+		return nil, ErrShutdown
 	}
 	ctx, cancel := context.WithCancelCause(p.ctx)
 	h := &Handle{
@@ -186,11 +231,11 @@ func (p *Pool) Close() {
 }
 
 // CancelAll cancels every queued and in-flight job with the given cause
-// (context.Canceled when nil). The pool keeps accepting new jobs; combine
+// (ErrCanceled when nil). The pool keeps accepting new jobs; combine
 // with Close (or use Shutdown) to tear the pool down.
 func (p *Pool) CancelAll(cause error) {
 	if cause == nil {
-		cause = context.Canceled
+		cause = ErrCanceled
 	}
 	p.cancel(cause)
 }
@@ -231,18 +276,51 @@ type PoolState struct {
 	// includes failed and canceled jobs).
 	Submitted int64
 	Finished  int64
+	// Uptime is the time since the pool started.
+	Uptime time.Duration
+	// PerWorker holds one lifetime entry per worker goroutine, indexed by
+	// worker id.
+	PerWorker []PoolWorkerState
+}
+
+// PoolWorkerState is one worker's lifetime statistics in a PoolState
+// snapshot.
+type PoolWorkerState struct {
+	WorkerStats
+	// Utilization is the fraction of the pool's uptime this worker spent
+	// running jobs (Busy / Uptime).
+	Utilization float64
 }
 
 // State returns a snapshot of pool occupancy.
 func (p *Pool) State() PoolState {
-	return PoolState{
+	uptime := time.Since(p.start)
+	st := PoolState{
 		Workers:    p.workers,
 		QueueDepth: p.depth,
 		Queued:     int(p.queued.Load()),
 		Running:    int(p.running.Load()),
 		Submitted:  p.submitted.Load(),
 		Finished:   p.finished.Load(),
+		Uptime:     uptime,
+		PerWorker:  make([]PoolWorkerState, p.workers),
 	}
+	for i := range p.perWorker {
+		wc := &p.perWorker[i]
+		busy := time.Duration(wc.busyNanos.Load())
+		st.PerWorker[i] = PoolWorkerState{
+			WorkerStats: WorkerStats{
+				Jobs:         int(wc.jobs.Load()),
+				Busy:         busy,
+				ArenaNodes:   int(wc.arenaNodes.Load()),
+				ArenaWeights: int(wc.arenaWeights.Load()),
+			},
+		}
+		if uptime > 0 {
+			st.PerWorker[i].Utilization = float64(busy) / float64(uptime)
+		}
+	}
+	return st
 }
 
 // Index returns the job's submission index (the seed-derivation index).
@@ -280,12 +358,12 @@ func (h *Handle) Wait(ctx context.Context) (JobResult, error) {
 	}
 }
 
-// Cancel aborts the job with the given cause (context.Canceled when nil):
+// Cancel aborts the job with the given cause (ErrCanceled when nil):
 // queued jobs fail without running, in-flight simulations stop between
 // gates. Canceling a finished job is a no-op.
 func (h *Handle) Cancel(cause error) {
 	if cause == nil {
-		cause = context.Canceled
+		cause = ErrCanceled
 	}
 	h.cancel(cause)
 }

@@ -90,12 +90,13 @@ type RunOptions struct {
 	Parallel int
 	// BaseSeed derives per-job measurement seeds.
 	BaseSeed int64
-	// Reuse keeps one DD manager per worker across jobs, recycling pooled
-	// node memory between jobs (batch.Options.ReuseManagers). Faster for
-	// long sweeps, but rows are then no longer bit-identical across worker
-	// counts, so the default keeps it off. Suites with SampleTrue ignore it:
-	// the true-fidelity column compares final states after the batch, which
-	// recycling would invalidate.
+	// Reuse keeps one DD manager per worker across jobs, resetting it
+	// between jobs (batch.Options.ReuseManagers). Rows stay bit-identical
+	// for every worker count — Reset restores a bit-level fresh manager —
+	// while warm jobs run out of retained pool memory. Suites with
+	// SampleTrue ignore it: the true-fidelity column compares final states
+	// after the batch, and a reused manager's states are invalidated once
+	// its worker moves on.
 	Reuse bool
 	// Progress, when non-nil, receives (done, total) after each finished
 	// simulation job (exact references and approximate runs; the optional

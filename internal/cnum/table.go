@@ -1,6 +1,10 @@
 package cnum
 
-import "math"
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultTolerance is the grid spacing used to decide when two floating-point
 // complex values are considered the same weight. It matches the order of
@@ -11,31 +15,97 @@ const DefaultTolerance = 1e-10
 
 type cellKey struct{ re, im int64 }
 
-// Table interns complex values. The zero value is not usable; construct with
-// NewTable. Tables are not safe for concurrent mutation.
-type Table struct {
-	tol   float64
+const (
+	// numShards splits the cell map so a shared table contends on per-shard
+	// locks instead of one global lock. Must be a power of two. Per-manager
+	// (unshared) tables use the same sharding with the locks compiled out of
+	// the hot path, so both modes run the same interning policy.
+	numShards = 8
+	// valueChunk is the number of Values allocated per arena chunk.
+	valueChunk = 1024
+)
+
+// tableShard is one slice of the cell map. The trailing pad keeps shards on
+// separate cache lines so per-shard locks in shared mode do not false-share.
+type tableShard struct {
+	mu    sync.Mutex
 	cells map[cellKey]*Value
+	_     [40]byte
+}
+
+// shardOf selects a shard from well-mixed high multiply bits, so neighbouring
+// cells spread across shards.
+func shardOf(k cellKey) int {
+	h := uint64(k.re)*0x9E3779B97F4A7C15 ^ uint64(k.im)*0xC6A4A7935BD1E995
+	return int(h >> (64 - 3)) // top log2(numShards) bits
+}
+
+// cellHash derives the canonical Value hash from the grid cell alone. Two
+// tables at the same tolerance therefore assign equal hashes to equal
+// weights regardless of interning order — the "canonical-hash bridge" that
+// keeps DD node hashes, and hence every downstream structure, bit-identical
+// across fresh, reused, and per-worker managers.
+func cellHash(k cellKey) uint64 {
+	h := Mix64(uint64(k.re) ^ 0x9E3779B97F4A7C15)
+	return Mix64(h + uint64(k.im))
+}
+
+// Table interns complex values on a tolerance grid. The zero value is not
+// usable; construct with NewTable (single-goroutine, the per-manager default)
+// or NewSharedTable (per-shard locking for concurrent interning). Stats
+// counters are atomic in both modes, so observers may read them while another
+// goroutine interns.
+type Table struct {
+	tol    float64
+	shared bool
+
+	shards [numShards]tableShard
 
 	// Canonical values. Zero and One are used pervasively by the DD engine
-	// for pointer-identity fast paths.
+	// for pointer-identity fast paths; Reset keeps their pointer identity.
 	Zero *Value
 	One  *Value
 
-	lookups int64
-	hits    int64
-	seq     uint64 // interning counter feeding Value hashes
+	// Value arena: values are allocated from retained chunks and harvested
+	// onto a free list by Reset, so steady-state interning after a Reset
+	// allocates nothing.
+	arenaMu   sync.Mutex // guards chunk/chunkNext/free in shared mode
+	chunk     []Value
+	chunkNext int
+	free      []*Value
+
+	lookups atomic.Int64
+	misses  atomic.Int64 // lookups that interned a new value
+	size    atomic.Int64
+	peak    atomic.Int64
 }
 
-// NewTable returns a table with DefaultTolerance.
+// NewTable returns a single-goroutine table with DefaultTolerance.
 func NewTable() *Table { return NewTableTol(DefaultTolerance) }
 
-// NewTableTol returns a table with the given tolerance. tol must be positive.
-func NewTableTol(tol float64) *Table {
+// NewTableTol returns a single-goroutine table with the given tolerance.
+// tol must be positive.
+func NewTableTol(tol float64) *Table { return newTable(tol, false) }
+
+// NewSharedTable returns a table safe for concurrent Lookup from multiple
+// goroutines, using per-shard locks; it has DefaultTolerance. Per-cell
+// canonicalization (same cell ⇒ same pointer) holds under concurrency;
+// cross-cell tolerance snapping is best-effort when two goroutines intern
+// values straddling a cell boundary at the same moment, so bit-level
+// reproducibility guarantees require the per-manager unshared tables.
+func NewSharedTable() *Table { return NewSharedTableTol(DefaultTolerance) }
+
+// NewSharedTableTol is NewSharedTable with an explicit tolerance.
+func NewSharedTableTol(tol float64) *Table { return newTable(tol, true) }
+
+func newTable(tol float64, shared bool) *Table {
 	if tol <= 0 {
 		panic("cnum: tolerance must be positive")
 	}
-	t := &Table{tol: tol, cells: make(map[cellKey]*Value, 1024)}
+	t := &Table{tol: tol, shared: shared}
+	for i := range t.shards {
+		t.shards[i].cells = make(map[cellKey]*Value, 128)
+	}
 	t.Zero = t.Lookup(0)
 	t.One = t.Lookup(1)
 	return t
@@ -44,19 +114,38 @@ func NewTableTol(tol float64) *Table {
 // Tolerance returns the table tolerance.
 func (t *Table) Tolerance() float64 { return t.tol }
 
-// Size returns the number of interned values.
-func (t *Table) Size() int { return len(t.cells) }
+// Size returns the number of currently interned values.
+func (t *Table) Size() int { return int(t.size.Load()) }
 
-// Peak returns the high-water mark of Size over the table's lifetime. The
-// table never shrinks, so this is simply Size; callers reporting table
-// pressure should use Peak so the metric survives future compaction.
-func (t *Table) Peak() int { return len(t.cells) }
+// Peak returns the high-water mark of Size since the table was created or
+// last Reset, so per-job table pressure stays observable when managers are
+// reused across jobs.
+func (t *Table) Peak() int { return int(t.peak.Load()) }
 
-// Stats returns lookup and hit counters (for instrumentation).
-func (t *Table) Stats() (lookups, hits int64) { return t.lookups, t.hits }
+// Stats returns lookup and hit counters. Both counters are monotonic over
+// the table lifetime (Reset does not rewind them), so callers measuring one
+// run take deltas. Safe to call concurrently with lookups on shared tables.
+func (t *Table) Stats() (lookups, hits int64) {
+	l := t.lookups.Load()
+	return l, l - t.misses.Load()
+}
 
 func (t *Table) key(re, im float64) cellKey {
 	return cellKey{int64(math.Round(re / t.tol)), int64(math.Round(im / t.tol))}
+}
+
+// CanonicalHash returns the hash a value interned for c would carry. It
+// depends only on the tolerance grid cell, never on interning order, so
+// separate tables at the same tolerance can compare weights by hash.
+func (t *Table) CanonicalHash(c complex128) uint64 {
+	re, im := real(c), imag(c)
+	if re == 0 {
+		re = 0
+	}
+	if im == 0 {
+		im = 0
+	}
+	return cellHash(t.key(re, im))
 }
 
 // Lookup interns c and returns the canonical Value pointer. Values within the
@@ -69,7 +158,7 @@ func (t *Table) Lookup(c complex128) *Value {
 
 // LookupFloat is Lookup for separate real/imaginary parts.
 func (t *Table) LookupFloat(re, im float64) *Value {
-	t.lookups++
+	t.lookups.Add(1)
 	// Canonicalize signed zeros so -0.0 and +0.0 intern identically.
 	if re == 0 {
 		re = 0
@@ -78,10 +167,23 @@ func (t *Table) LookupFloat(re, im float64) *Value {
 		im = 0
 	}
 	k := t.key(re, im)
-	if v, ok := t.cells[k]; ok {
-		t.hits++
+	s := &t.shards[shardOf(k)]
+	if t.shared {
+		s.mu.Lock()
+		v, ok := s.cells[k]
+		s.mu.Unlock()
+		if ok {
+			return v
+		}
+	} else if v, ok := s.cells[k]; ok {
 		return v
 	}
+	return t.lookupSlow(k, re, im)
+}
+
+// lookupSlow handles the exact-cell miss: neighbour probing, canonical
+// constant snapping, and interning a new value.
+func (t *Table) lookupSlow(k cellKey, re, im float64) *Value {
 	// Probe the 8 neighbouring cells: a value within tol of an existing one
 	// may round to an adjacent cell.
 	for dr := int64(-1); dr <= 1; dr++ {
@@ -89,38 +191,127 @@ func (t *Table) LookupFloat(re, im float64) *Value {
 			if dr == 0 && di == 0 {
 				continue
 			}
-			if v, ok := t.cells[cellKey{k.re + dr, k.im + di}]; ok {
-				if math.Abs(v.Re-re) <= t.tol && math.Abs(v.Im-im) <= t.tol {
-					t.hits++
-					return v
-				}
+			nk := cellKey{k.re + dr, k.im + di}
+			ns := &t.shards[shardOf(nk)]
+			if t.shared {
+				ns.mu.Lock()
+			}
+			v, ok := ns.cells[nk]
+			if t.shared {
+				ns.mu.Unlock()
+			}
+			if ok && math.Abs(v.Re-re) <= t.tol && math.Abs(v.Im-im) <= t.tol {
+				return v
 			}
 		}
 	}
 	// Snap near-exact constants so canonical values keep pointer identity.
 	if math.Abs(re) <= t.tol && math.Abs(im) <= t.tol {
 		if t.Zero != nil {
-			t.hits++
 			return t.Zero
 		}
 		re, im = 0, 0
 	} else if math.Abs(re-1) <= t.tol && math.Abs(im) <= t.tol {
 		if t.One != nil {
-			t.hits++
 			return t.One
 		}
 		re, im = 1, 0
 	}
-	t.seq++
-	v := &Value{Re: re, Im: im, hash: Mix64(t.seq + 0x9E3779B97F4A7C15)}
-	t.cells[k] = v
+	v := t.allocValue()
+	*v = Value{Re: re, Im: im, hash: cellHash(k)}
+	s := &t.shards[shardOf(k)]
+	if t.shared {
+		s.mu.Lock()
+		if w, ok := s.cells[k]; ok {
+			// Another goroutine interned this cell between our probe and the
+			// insert; keep the winner and recycle our candidate.
+			s.mu.Unlock()
+			t.freeValue(v)
+			return w
+		}
+		s.cells[k] = v
+		s.mu.Unlock()
+	} else {
+		s.cells[k] = v
+	}
+	t.misses.Add(1)
+	sz := t.size.Add(1)
+	for {
+		p := t.peak.Load()
+		if sz <= p || t.peak.CompareAndSwap(p, sz) {
+			break
+		}
+	}
 	return v
 }
 
+// allocValue hands out a Value from the free list or the current chunk.
+func (t *Table) allocValue() *Value {
+	if t.shared {
+		t.arenaMu.Lock()
+		defer t.arenaMu.Unlock()
+	}
+	if n := len(t.free); n > 0 {
+		v := t.free[n-1]
+		t.free = t.free[:n-1]
+		return v
+	}
+	if t.chunkNext == len(t.chunk) {
+		t.chunk = make([]Value, valueChunk)
+		t.chunkNext = 0
+	}
+	v := &t.chunk[t.chunkNext]
+	t.chunkNext++
+	return v
+}
+
+func (t *Table) freeValue(v *Value) {
+	if t.shared {
+		t.arenaMu.Lock()
+		defer t.arenaMu.Unlock()
+	}
+	t.free = append(t.free, v)
+}
+
+// Reset empties the table, harvesting every interned value (except the
+// canonical Zero and One, whose pointer identity survives) onto the arena
+// free list so subsequent interning reuses their memory. Lookup/hit counters
+// keep accumulating; Peak restarts at the post-reset size so it reports
+// per-epoch pressure. The caller must guarantee quiescence: Reset must not
+// race with Lookup, even on shared tables.
+func (t *Table) Reset() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		for _, v := range s.cells {
+			if v == t.Zero || v == t.One {
+				continue
+			}
+			t.free = append(t.free, v)
+		}
+		clear(s.cells)
+	}
+	zk := t.key(0, 0)
+	ok := t.key(1, 0)
+	t.shards[shardOf(zk)].cells[zk] = t.Zero
+	t.shards[shardOf(ok)].cells[ok] = t.One
+	t.size.Store(2)
+	t.peak.Store(2)
+}
+
+// Trim releases the arena free list and spare chunk capacity to the garbage
+// collector. Only meaningful right after Reset (when no interned value
+// outside Zero/One pins a chunk); the batch arena uses it to cap per-worker
+// retained memory.
+func (t *Table) Trim() {
+	t.free = nil
+	t.chunk = nil
+	t.chunkNext = 0
+}
+
 // Mix64 is the SplitMix64 finalizer: a cheap bijective mixer whose output
-// bits all depend on all input bits. The table uses it to turn the
-// sequential interning counter into a well-spread Value hash, and the
-// decision-diagram tables reuse it to finish their combined key hashes.
+// bits all depend on all input bits. The table uses it to spread grid-cell
+// coordinates into well-distributed Value hashes, and the decision-diagram
+// tables reuse it to finish their combined key hashes.
 func Mix64(z uint64) uint64 {
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9

@@ -1,0 +1,156 @@
+package cnum
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSharedTableConcurrentLookup hammers one shared table from many
+// goroutines over an overlapping value set. Run under -race this checks the
+// sharded locking; the per-cell canonicalization check holds regardless of
+// interleaving: every goroutine looking up the same float pair must get the
+// same pointer.
+func TestSharedTableConcurrentLookup(t *testing.T) {
+	tb := NewSharedTable()
+	const (
+		goroutines = 8
+		valuesPer  = 5000
+		distinct   = 512
+	)
+	results := make([]map[complex128]*Value, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			got := make(map[complex128]*Value, distinct)
+			for i := 0; i < valuesPer; i++ {
+				// Values on a coarse lattice so goroutines collide constantly.
+				c := complex(float64(rng.Intn(distinct))/64, float64(rng.Intn(distinct))/64)
+				v := tb.Lookup(c)
+				if prev, ok := got[c]; ok && prev != v {
+					t.Errorf("goroutine %d: Lookup(%v) changed pointer", g, c)
+					return
+				}
+				got[c] = v
+				// Concurrent stats reads must be safe too.
+				if i%1000 == 0 {
+					tb.Stats()
+					tb.Size()
+					tb.Peak()
+				}
+			}
+			results[g] = got
+		}(g)
+	}
+	wg.Wait()
+	// Cross-goroutine canonicalization: same value ⇒ same pointer everywhere.
+	merged := make(map[complex128]*Value)
+	for g, got := range results {
+		for c, v := range got {
+			if prev, ok := merged[c]; ok && prev != v {
+				t.Fatalf("goroutine %d: Lookup(%v) returned a different pointer than another goroutine", g, c)
+			}
+			merged[c] = v
+		}
+	}
+	lookups, hits := tb.Stats()
+	if lookups != goroutines*valuesPer+2 { // +2 for the Zero/One construction lookups
+		t.Errorf("lookups = %d, want %d", lookups, goroutines*valuesPer+2)
+	}
+	if misses := lookups - hits; misses != int64(tb.Size()) {
+		t.Errorf("misses = %d but table holds %d values", misses, tb.Size())
+	}
+}
+
+// TestCanonicalHashBridge: equal weights carry equal hashes across tables,
+// independent of interning order — the property that keeps DD hashing
+// bit-identical across fresh, reused, and per-worker managers.
+func TestCanonicalHashBridge(t *testing.T) {
+	a := NewTable()
+	b := NewTable()
+	vals := []complex128{
+		complex(1/math.Sqrt2, 0),
+		complex(0, -1),
+		complex(0.5, 0.5),
+		complex(-0.25, 1e-3),
+		complex(0.123456789, -0.987654321),
+	}
+	// Intern in opposite orders.
+	for _, c := range vals {
+		a.Lookup(c)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Lookup(vals[i])
+	}
+	for _, c := range vals {
+		va, vb := a.Lookup(c), b.Lookup(c)
+		if va.Hash() != vb.Hash() {
+			t.Errorf("hash of %v differs across tables: %x vs %x", c, va.Hash(), vb.Hash())
+		}
+		if va.Hash() != a.CanonicalHash(c) {
+			t.Errorf("CanonicalHash(%v) = %x, interned hash %x", c, a.CanonicalHash(c), va.Hash())
+		}
+	}
+	if a.Zero.Hash() != b.Zero.Hash() || a.One.Hash() != b.One.Hash() {
+		t.Error("canonical constants hash differently across tables")
+	}
+}
+
+// TestResetKeepsCanonicalPointersAndRecyclesMemory: Reset must preserve
+// Zero/One pointer identity, restore a logically fresh table, and serve
+// subsequent interning from the harvested free list.
+func TestResetReusesValues(t *testing.T) {
+	tb := NewTable()
+	zero, one := tb.Zero, tb.One
+	for i := 0; i < 100; i++ {
+		tb.LookupFloat(float64(i)/7, float64(-i)/13)
+	}
+	if tb.Size() <= 2 {
+		t.Fatal("setup interned nothing")
+	}
+	peakBefore := tb.Peak()
+	tb.Reset()
+	if tb.Zero != zero || tb.One != one {
+		t.Fatal("Reset changed canonical pointers")
+	}
+	if tb.Size() != 2 {
+		t.Fatalf("Size after Reset = %d, want 2", tb.Size())
+	}
+	if tb.Peak() != 2 {
+		t.Fatalf("Peak after Reset = %d, want 2", tb.Peak())
+	}
+	if len(tb.free) == 0 {
+		t.Fatal("Reset harvested no values onto the free list")
+	}
+	if tb.Lookup(0) != zero || tb.Lookup(1) != one {
+		t.Fatal("canonical constants not interned after Reset")
+	}
+	// Re-interning must pop the free list, not grow the chunk.
+	freeBefore := len(tb.free)
+	v := tb.Lookup(complex(0.25, 0.75))
+	if len(tb.free) != freeBefore-1 {
+		t.Errorf("Lookup after Reset did not reuse a pooled value (free %d -> %d)", freeBefore, len(tb.free))
+	}
+	if v.Complex() != complex(0.25, 0.75) {
+		t.Errorf("recycled value holds %v", v.Complex())
+	}
+	if tb.Peak() < peakBefore {
+		// Peak restarted; just exercise the accessor for the grown epoch.
+		if tb.Peak() != 3 {
+			t.Errorf("Peak after one post-reset interning = %d, want 3", tb.Peak())
+		}
+	}
+	// Trim right after a fresh Reset releases the arena.
+	tb.Reset()
+	tb.Trim()
+	if len(tb.free) != 0 || tb.chunk != nil {
+		t.Error("Trim left arena memory retained")
+	}
+	if tb.Lookup(complex(0.1, 0.2)) == nil {
+		t.Error("Lookup after Trim failed")
+	}
+}

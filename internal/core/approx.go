@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dd"
 )
@@ -40,26 +39,35 @@ func ApproximateToFidelity(m *dd.Manager, e dd.VEdge, fround float64) (dd.VEdge,
 		return e, Report{}, fmt.Errorf("core: round fidelity %v outside (0, 1]", fround)
 	}
 	budget := 1 - fround
-	sizeBefore := dd.CountVNodes(e)
+	sizeBefore := m.CountV(e)
 	rep := Report{Requested: fround, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
 	if m.IsVZero(e) || budget == 0 {
 		return e, rep, nil
 	}
-	contribs := Contributions(m, e)
-	kill := selectKillSet(e, contribs, budget)
-	if len(kill) == 0 {
+	sc := getScratch()
+	defer putScratch(sc)
+	contributionsInto(m, e, sc)
+	// Greedily take nodes by ascending contribution while the total raw
+	// contribution stays within the budget. The root is never a candidate;
+	// ties break on node id for determinism.
+	cands := sc.sortedCandidates(e.N)
+	limit, total := 0, 0.0
+	const slack = 1e-12 // tolerate float summation error at the boundary
+	for _, cand := range cands {
+		if total+cand.c > budget+slack {
+			break
+		}
+		total += cand.c
+		limit++
+	}
+	ne, removed, mass := removeWithBackoff(m, e, sc, cands, limit)
+	if removed == 0 {
 		return e, rep, nil
 	}
-	ne := RemoveNodes(m, e, kill)
-	if m.IsVZero(ne) {
-		return e, rep, fmt.Errorf("core: approximation removed the entire state (budget %v)", budget)
-	}
-	rep.RemovedNodes = len(kill)
-	for n := range kill {
-		rep.RemovedMass += contribs[n]
-	}
+	rep.RemovedNodes = removed
+	rep.RemovedMass = mass
 	rep.Achieved = m.Fidelity(e, ne)
-	rep.SizeAfter = dd.CountVNodes(ne)
+	rep.SizeAfter = m.CountV(ne)
 	return ne, rep, nil
 }
 
@@ -68,64 +76,31 @@ func ApproximateToFidelity(m *dd.Manager, e dd.VEdge, fround float64) (dd.VEdge,
 // fidelity loss is reported but not bounded a priori. Used by the ablation
 // benches.
 func ApproximateBelowContribution(m *dd.Manager, e dd.VEdge, minContrib float64) (dd.VEdge, Report, error) {
-	sizeBefore := dd.CountVNodes(e)
+	sizeBefore := m.CountV(e)
 	rep := Report{Requested: 0, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
 	if m.IsVZero(e) {
 		return e, rep, nil
 	}
-	contribs := Contributions(m, e)
-	kill := make(map[*dd.VNode]bool)
-	for n, c := range contribs {
+	sc := getScratch()
+	defer putScratch(sc)
+	contributionsInto(m, e, sc)
+	for n, c := range sc.contrib {
 		if c < minContrib && n != e.N {
-			kill[n] = true
+			sc.kill[n] = true
 			rep.RemovedMass += c
 		}
 	}
-	if len(kill) == 0 {
+	if len(sc.kill) == 0 {
 		return e, rep, nil
 	}
-	ne := RemoveNodes(m, e, kill)
+	ne := removeNodes(m, e, sc.kill, sc.memo)
 	if m.IsVZero(ne) {
 		return e, rep, fmt.Errorf("core: contribution threshold %v removed the entire state", minContrib)
 	}
-	rep.RemovedNodes = len(kill)
+	rep.RemovedNodes = len(sc.kill)
 	rep.Achieved = m.Fidelity(e, ne)
-	rep.SizeAfter = dd.CountVNodes(ne)
+	rep.SizeAfter = m.CountV(ne)
 	return ne, rep, nil
-}
-
-// selectKillSet greedily picks nodes by ascending contribution while the
-// total raw contribution stays within the budget. The root is never
-// eligible. Ties break on node id for determinism.
-func selectKillSet(e dd.VEdge, contribs map[*dd.VNode]float64, budget float64) map[*dd.VNode]bool {
-	type nc struct {
-		n *dd.VNode
-		c float64
-	}
-	cands := make([]nc, 0, len(contribs))
-	for n, c := range contribs {
-		if n == e.N {
-			continue
-		}
-		cands = append(cands, nc{n, c})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].c != cands[j].c {
-			return cands[i].c < cands[j].c
-		}
-		return cands[i].n.ID() < cands[j].n.ID()
-	})
-	kill := make(map[*dd.VNode]bool)
-	total := 0.0
-	const slack = 1e-12 // tolerate float summation error at the boundary
-	for _, cand := range cands {
-		if total+cand.c > budget+slack {
-			break
-		}
-		kill[cand.n] = true
-		total += cand.c
-	}
-	return kill
 }
 
 // RemoveNodes rebuilds the state DD with every node in kill replaced by the
@@ -133,41 +108,5 @@ func selectKillSet(e dd.VEdge, contribs map[*dd.VNode]float64, budget float64) m
 // This realizes the truncation |ψ_I⟩ = P_I|ψ⟩ / ‖P_I|ψ⟩‖ of Eq. (1) with I
 // the set of basis states whose paths avoid the killed nodes.
 func RemoveNodes(m *dd.Manager, e dd.VEdge, kill map[*dd.VNode]bool) dd.VEdge {
-	if m.IsVZero(e) {
-		return e
-	}
-	memo := make(map[*dd.VNode]dd.VEdge)
-	var rebuild func(n *dd.VNode) dd.VEdge
-	rebuild = func(n *dd.VNode) dd.VEdge {
-		if n.IsTerminal() {
-			return dd.VEdge{W: m.CN.One, N: m.VTerminal()}
-		}
-		if kill[n] {
-			return m.VZero()
-		}
-		if res, ok := memo[n]; ok {
-			return res
-		}
-		var children [2]dd.VEdge
-		for i := 0; i < 2; i++ {
-			child := n.E[i]
-			if child.W.Abs2() == 0 {
-				children[i] = m.VZero()
-				continue
-			}
-			sub := rebuild(child.N)
-			children[i] = m.ScaleV(sub, child.W.Complex())
-		}
-		res := m.MakeVNode(n.Var, children[0], children[1])
-		memo[n] = res
-		return res
-	}
-	root := rebuild(e.N)
-	if m.IsVZero(root) {
-		return root
-	}
-	// Re-apply the original root weight, then renormalize: the rebuild has
-	// folded the surviving mass ‖P_I ψ‖ into the root weight.
-	final := m.ScaleV(root, e.W.Complex())
-	return m.NormalizeRootWeight(final)
+	return removeNodes(m, e, kill, make(map[*dd.VNode]dd.VEdge))
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/dd"
 )
 
@@ -13,28 +11,17 @@ import (
 // With the |w0|²+|w1|² = 1 node normalization the subtree below any node
 // carries unit mass, so the contribution equals the accumulated squared path
 // weight from the root down to the node, propagated level by level.
+//
+// The returned map is owned by the caller. The approximation pipeline avoids
+// this allocation by computing into pooled scratch (contributionsInto).
 func Contributions(m *dd.Manager, e dd.VEdge) map[*dd.VNode]float64 {
-	contrib := make(map[*dd.VNode]float64)
-	if m.IsVZero(e) || e.N == nil || e.N.IsTerminal() {
-		return contrib
+	sc := getScratch()
+	contributionsInto(m, e, sc)
+	contrib := make(map[*dd.VNode]float64, len(sc.contrib))
+	for n, c := range sc.contrib {
+		contrib[n] = c
 	}
-	nodes := dd.CollectVNodes(e)
-	// Propagate in level order (parents strictly above children).
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Var > nodes[j].Var })
-	contrib[e.N] = e.W.Abs2()
-	for _, n := range nodes {
-		c := contrib[n]
-		if c == 0 {
-			continue
-		}
-		for idx := 0; idx < 2; idx++ {
-			child := n.E[idx]
-			if child.N == nil || child.N.IsTerminal() || child.W.Abs2() == 0 {
-				continue
-			}
-			contrib[child.N] += c * child.W.Abs2()
-		}
-	}
+	putScratch(sc)
 	return contrib
 }
 
@@ -43,10 +30,13 @@ func Contributions(m *dd.Manager, e dd.VEdge) map[*dd.VNode]float64 {
 // for a normalized state (tested as an invariant).
 func LevelContributionSums(m *dd.Manager, e dd.VEdge, n int) []float64 {
 	sums := make([]float64, n)
-	for node, c := range Contributions(m, e) {
+	sc := getScratch()
+	contributionsInto(m, e, sc)
+	for node, c := range sc.contrib {
 		if int(node.Var) < n {
 			sums[node.Var] += c
 		}
 	}
+	putScratch(sc)
 	return sums
 }

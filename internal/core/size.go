@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dd"
 )
@@ -21,64 +20,49 @@ func ApproximateToSize(m *dd.Manager, e dd.VEdge, maxNodes int) (dd.VEdge, Repor
 	if maxNodes < 1 {
 		return e, Report{}, fmt.Errorf("core: size target %d must be positive", maxNodes)
 	}
-	sizeBefore := dd.CountVNodes(e)
+	sizeBefore := m.CountV(e)
 	rep := Report{Requested: 0, Achieved: 1, SizeBefore: sizeBefore, SizeAfter: sizeBefore}
 	if sizeBefore <= maxNodes || m.IsVZero(e) {
 		return e, rep, nil
 	}
 	orig := e
+	sc := getScratch()
+	defer putScratch(sc)
 	const maxPasses = 8
 	for pass := 0; pass < maxPasses; pass++ {
-		size := dd.CountVNodes(e)
+		size := m.CountV(e)
 		if size <= maxNodes {
 			break
 		}
-		contribs := Contributions(m, e)
-		type nc struct {
-			n *dd.VNode
-			c float64
-		}
-		cands := make([]nc, 0, len(contribs))
-		for n, c := range contribs {
-			if n == e.N {
-				continue
-			}
-			cands = append(cands, nc{n, c})
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].c != cands[j].c {
-				return cands[i].c < cands[j].c
-			}
-			return cands[i].n.ID() < cands[j].n.ID()
-		})
+		sc.reuse()
+		contributionsInto(m, e, sc)
 		// Remove at least the surplus; unsharing may offset some of it, so
 		// later passes finish the job.
+		cands := sc.sortedCandidates(e.N)
 		need := size - maxNodes
-		kill := make(map[*dd.VNode]bool, need)
-		var mass float64
+		limit, mass := 0, 0.0
 		for _, cand := range cands {
-			if len(kill) >= need {
+			if limit >= need {
 				break
 			}
 			// Never remove the entire remaining mass.
 			if mass+cand.c >= 1 {
 				break
 			}
-			kill[cand.n] = true
+			limit++
 			mass += cand.c
 		}
-		if len(kill) == 0 {
+		ne, removed, remMass := removeWithBackoff(m, e, sc, cands, limit)
+		if removed == 0 {
+			// Even a single-node removal would zero the state; settle for
+			// the current size.
 			break
 		}
-		ne := RemoveNodes(m, e, kill)
-		if m.IsVZero(ne) {
-			return orig, rep, fmt.Errorf("core: size target %d would remove the entire state", maxNodes)
-		}
 		e = ne
-		rep.RemovedNodes += len(kill)
-		rep.RemovedMass += mass
+		rep.RemovedNodes += removed
+		rep.RemovedMass += remMass
 	}
-	rep.SizeAfter = dd.CountVNodes(e)
+	rep.SizeAfter = m.CountV(e)
 	rep.Achieved = m.Fidelity(orig, e)
 	return e, rep, nil
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dd"
+)
+
+// Regression: in this state the four smallest-contribution nodes are all of
+// level 1 — a full level cut. Killing them removes every path (true removed
+// mass exactly 1) while their summed contributions land one ulp below the
+// <1 guard, so the single-shot rebuild produced the zero state and
+// ApproximateToSize errored. The removal now backs off to a smaller kill
+// prefix instead.
+func TestApproximateToSizeLevelCutBackoff(t *testing.T) {
+	vec := []complex128{0, 0, 0, 0.1841756497840385 + 0.4322476989581267i,
+		0.21068305193683035 + 0.07251403439625055i, 0, 0.4493079660395935 + 0.16302094040069626i, 0,
+		-0.15369462899885028 + 0.24842399774520801i, 0, 0, 0.3663640018625997 + 0.36608900899315083i,
+		0, -0.2545526701251826 - 0.16486589505397525i, -0.06480720039412846 - 0.2266805757239144i, 0}
+	m := dd.New()
+	e, err := m.FromAmplitudes(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dd.CountVNodes(e)
+	target := before/2 + 1
+	ne, rep, err := ApproximateToSize(m, e, target)
+	if err != nil {
+		t.Fatalf("ApproximateToSize: %v", err)
+	}
+	if m.IsVZero(ne) {
+		t.Fatal("approximation removed the entire state")
+	}
+	after := dd.CountVNodes(ne)
+	if after > before {
+		t.Errorf("size grew: %d -> %d", before, after)
+	}
+	if rep.SizeAfter != after {
+		t.Errorf("rep.SizeAfter = %d, actual %d", rep.SizeAfter, after)
+	}
+	if rep.Achieved <= 0 || rep.Achieved > 1+1e-9 {
+		t.Errorf("achieved fidelity %v outside (0, 1]", rep.Achieved)
+	}
+}

@@ -88,10 +88,158 @@ func cacheHash(vals ...uint64) uint64 {
 
 // growCache reports whether a cache of the given size should double, based
 // on the misses it accumulated since its last resize. Resizes rehash live
-// entries into the doubled array (see the *Store funcs) so hot results
+// entries into the doubled window (see the grow* funcs) so hot results
 // survive the growth.
 func growCache(size, max int, misses, missMark uint64) bool {
 	return size < max && misses-missMark > uint64(cacheGrowMissFactor*size)
+}
+
+// Cache growth over retained backing arrays. Each cache is the prefix window
+// back[:n]; doubling extends the window in place when the backing is already
+// big enough (a reused manager re-growing after Reset) and allocates a bigger
+// backing only the first time a size is reached. The in-place rehash is safe
+// because with power-of-two sizes an entry at index i moves to i or i+n —
+// never onto an unprocessed live slot — and anything stale left in the upper
+// half is dead by generation.
+
+func (m *Manager) growAdd() {
+	old := len(m.addCache)
+	n := 2 * old
+	if n > len(m.addBack) {
+		m.addBack = make([]addEntry, n)
+		for i := range m.addCache {
+			if e := &m.addCache[i]; e.gen == m.cacheGen {
+				m.addBack[cacheHash(e.a.id, e.b.id, e.r.Hash())&uint64(n-1)] = *e
+			}
+		}
+		m.addCache = m.addBack
+		return
+	}
+	nc := m.addBack[:n]
+	mask := uint64(n - 1)
+	for i := 0; i < old; i++ {
+		e := &nc[i]
+		if e.gen != m.cacheGen {
+			continue
+		}
+		if idx := cacheHash(e.a.id, e.b.id, e.r.Hash()) & mask; int(idx) != i {
+			nc[idx] = *e
+			e.gen = 0
+		}
+	}
+	m.addCache = nc
+}
+
+func (m *Manager) growMAdd() {
+	old := len(m.maddCache)
+	n := 2 * old
+	if n > len(m.maddBack) {
+		m.maddBack = make([]maddEntry, n)
+		for i := range m.maddCache {
+			if e := &m.maddCache[i]; e.gen == m.cacheGen {
+				m.maddBack[cacheHash(e.a.id, e.b.id, e.r.Hash())&uint64(n-1)] = *e
+			}
+		}
+		m.maddCache = m.maddBack
+		return
+	}
+	nc := m.maddBack[:n]
+	mask := uint64(n - 1)
+	for i := 0; i < old; i++ {
+		e := &nc[i]
+		if e.gen != m.cacheGen {
+			continue
+		}
+		if idx := cacheHash(e.a.id, e.b.id, e.r.Hash()) & mask; int(idx) != i {
+			nc[idx] = *e
+			e.gen = 0
+		}
+	}
+	m.maddCache = nc
+}
+
+func (m *Manager) growMul() {
+	old := len(m.mulCache)
+	n := 2 * old
+	if n > len(m.mulBack) {
+		m.mulBack = make([]mulEntry, n)
+		for i := range m.mulCache {
+			if e := &m.mulCache[i]; e.gen == m.cacheGen {
+				m.mulBack[cacheHash(e.m.id, e.v.id)&uint64(n-1)] = *e
+			}
+		}
+		m.mulCache = m.mulBack
+		return
+	}
+	nc := m.mulBack[:n]
+	mask := uint64(n - 1)
+	for i := 0; i < old; i++ {
+		e := &nc[i]
+		if e.gen != m.cacheGen {
+			continue
+		}
+		if idx := cacheHash(e.m.id, e.v.id) & mask; int(idx) != i {
+			nc[idx] = *e
+			e.gen = 0
+		}
+	}
+	m.mulCache = nc
+}
+
+func (m *Manager) growMM() {
+	old := len(m.mmCache)
+	n := 2 * old
+	if n > len(m.mmBack) {
+		m.mmBack = make([]mmEntry, n)
+		for i := range m.mmCache {
+			if e := &m.mmCache[i]; e.gen == m.cacheGen {
+				m.mmBack[cacheHash(e.a.id, e.b.id)&uint64(n-1)] = *e
+			}
+		}
+		m.mmCache = m.mmBack
+		return
+	}
+	nc := m.mmBack[:n]
+	mask := uint64(n - 1)
+	for i := 0; i < old; i++ {
+		e := &nc[i]
+		if e.gen != m.cacheGen {
+			continue
+		}
+		if idx := cacheHash(e.a.id, e.b.id) & mask; int(idx) != i {
+			nc[idx] = *e
+			e.gen = 0
+		}
+	}
+	m.mmCache = nc
+}
+
+func (m *Manager) growIP() {
+	old := len(m.ipCache)
+	n := 2 * old
+	if n > len(m.ipBack) {
+		m.ipBack = make([]ipEntry, n)
+		for i := range m.ipCache {
+			if e := &m.ipCache[i]; e.gen == m.cacheGen {
+				m.ipBack[cacheHash(e.a.id, e.b.id)&uint64(n-1)] = *e
+			}
+		}
+		m.ipCache = m.ipBack
+		return
+	}
+	nc := m.ipBack[:n]
+	mask := uint64(n - 1)
+	for i := 0; i < old; i++ {
+		e := &nc[i]
+		if e.gen != m.cacheGen {
+			continue
+		}
+		if idx := cacheHash(e.a.id, e.b.id) & mask; int(idx) != i {
+			nc[idx] = *e
+			e.gen = 0
+		}
+	}
+	m.ipCache = nc
 }
 
 func (m *Manager) addLookup(a, b *VNode, r *cnum.Value) (VEdge, bool) {
@@ -106,13 +254,7 @@ func (m *Manager) addLookup(a, b *VNode, r *cnum.Value) (VEdge, bool) {
 
 func (m *Manager) addStore(a, b *VNode, r *cnum.Value, res VEdge) {
 	if growCache(len(m.addCache), addCacheMax, m.addStats.Misses, m.addMissMark) {
-		nc := make([]addEntry, 2*len(m.addCache))
-		for _, e := range m.addCache {
-			if e.gen == m.cacheGen {
-				nc[cacheHash(e.a.id, e.b.id, e.r.Hash())&uint64(len(nc)-1)] = e
-			}
-		}
-		m.addCache = nc
+		m.growAdd()
 		m.addMissMark = m.addStats.Misses
 	}
 	e := &m.addCache[cacheHash(a.id, b.id, r.Hash())&uint64(len(m.addCache)-1)]
@@ -134,13 +276,7 @@ func (m *Manager) maddLookup(a, b *MNode, r *cnum.Value) (MEdge, bool) {
 
 func (m *Manager) maddStore(a, b *MNode, r *cnum.Value, res MEdge) {
 	if growCache(len(m.maddCache), maddCacheMax, m.maddStats.Misses, m.maddMissMark) {
-		nc := make([]maddEntry, 2*len(m.maddCache))
-		for _, e := range m.maddCache {
-			if e.gen == m.cacheGen {
-				nc[cacheHash(e.a.id, e.b.id, e.r.Hash())&uint64(len(nc)-1)] = e
-			}
-		}
-		m.maddCache = nc
+		m.growMAdd()
 		m.maddMissMark = m.maddStats.Misses
 	}
 	e := &m.maddCache[cacheHash(a.id, b.id, r.Hash())&uint64(len(m.maddCache)-1)]
@@ -162,13 +298,7 @@ func (m *Manager) mulLookup(mn *MNode, vn *VNode) (VEdge, bool) {
 
 func (m *Manager) mulStore(mn *MNode, vn *VNode, res VEdge) {
 	if growCache(len(m.mulCache), mulCacheMax, m.mulStats.Misses, m.mulMissMark) {
-		nc := make([]mulEntry, 2*len(m.mulCache))
-		for _, e := range m.mulCache {
-			if e.gen == m.cacheGen {
-				nc[cacheHash(e.m.id, e.v.id)&uint64(len(nc)-1)] = e
-			}
-		}
-		m.mulCache = nc
+		m.growMul()
 		m.mulMissMark = m.mulStats.Misses
 	}
 	e := &m.mulCache[cacheHash(mn.id, vn.id)&uint64(len(m.mulCache)-1)]
@@ -190,13 +320,7 @@ func (m *Manager) mmLookup(a, b *MNode) (MEdge, bool) {
 
 func (m *Manager) mmStore(a, b *MNode, res MEdge) {
 	if growCache(len(m.mmCache), mmCacheMax, m.mmStats.Misses, m.mmMissMark) {
-		nc := make([]mmEntry, 2*len(m.mmCache))
-		for _, e := range m.mmCache {
-			if e.gen == m.cacheGen {
-				nc[cacheHash(e.a.id, e.b.id)&uint64(len(nc)-1)] = e
-			}
-		}
-		m.mmCache = nc
+		m.growMM()
 		m.mmMissMark = m.mmStats.Misses
 	}
 	e := &m.mmCache[cacheHash(a.id, b.id)&uint64(len(m.mmCache)-1)]
@@ -218,13 +342,7 @@ func (m *Manager) ipLookup(a, b *VNode) (complex128, bool) {
 
 func (m *Manager) ipStore(a, b *VNode, res complex128) {
 	if growCache(len(m.ipCache), ipCacheMax, m.ipStats.Misses, m.ipMissMark) {
-		nc := make([]ipEntry, 2*len(m.ipCache))
-		for _, e := range m.ipCache {
-			if e.gen == m.cacheGen {
-				nc[cacheHash(e.a.id, e.b.id)&uint64(len(nc)-1)] = e
-			}
-		}
-		m.ipCache = nc
+		m.growIP()
 		m.ipMissMark = m.ipStats.Misses
 	}
 	e := &m.ipCache[cacheHash(a.id, b.id)&uint64(len(m.ipCache)-1)]

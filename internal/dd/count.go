@@ -1,7 +1,34 @@
 package dd
 
+// CountV is CountVNodes against a visited set retained on the manager, so
+// the per-gate DD size tracking in sim (the hottest CountVNodes caller by
+// far) allocates nothing at steady state. Not reentrant: callers must not
+// hold a CountV traversal open across another CountV call.
+func (m *Manager) CountV(e VEdge) int {
+	if m.visitV == nil {
+		m.visitV = make(map[*VNode]struct{}, 256)
+	} else {
+		clear(m.visitV) // clear keeps the buckets; no reallocation
+	}
+	m.countVWalk(e.N)
+	return len(m.visitV)
+}
+
+func (m *Manager) countVWalk(n *VNode) {
+	if n == nil || n.IsTerminal() {
+		return
+	}
+	if _, ok := m.visitV[n]; ok {
+		return
+	}
+	m.visitV[n] = struct{}{}
+	m.countVWalk(n.E[0].N)
+	m.countVWalk(n.E[1].N)
+}
+
 // CountVNodes returns the number of distinct non-terminal nodes reachable
 // from e. This is the paper's "DD size" metric (Table I, "Max. DD Size").
+// Manager.CountV is the allocation-free variant for hot loops.
 func CountVNodes(e VEdge) int {
 	seen := make(map[*VNode]struct{})
 	var walk func(n *VNode)

@@ -1,0 +1,152 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// buildProbe runs a fixed gate sequence and returns the final state. The
+// sequence mixes Hadamards, controlled ops, and parameterized rotations so
+// interning, normalization, caches, and the unique tables all get exercised.
+func buildProbe(m *Manager, n int) VEdge {
+	inv := 1 / math.Sqrt2
+	h := [4]complex128{complex(inv, 0), complex(inv, 0), complex(inv, 0), complex(-inv, 0)}
+	tgate := [4]complex128{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}
+	x := [4]complex128{0, 1, 1, 0}
+	state := m.BasisState(n, 0)
+	for q := 0; q < n; q++ {
+		state = m.MulVec(m.MakeGateDD(n, h, q), state)
+		state = m.NormalizeRootWeight(state)
+	}
+	for q := 0; q+1 < n; q++ {
+		cx := m.MakeGateDD(n, x, q+1, Control{Qubit: q, Positive: true})
+		state = m.MulVec(cx, state)
+		state = m.MulVec(m.MakeGateDD(n, tgate, q), state)
+		state = m.NormalizeRootWeight(state)
+	}
+	return state
+}
+
+// TestResetMatchesFreshManager: a manager that did unrelated work and was
+// Reset must replay a gate sequence bit-identically to a fresh manager —
+// same amplitudes, same node ids, same table pressure. This is the invariant
+// that makes ReuseManagers batch runs bit-reproducible.
+func TestResetMatchesFreshManager(t *testing.T) {
+	const n = 6
+	fresh := New()
+	want := buildProbe(fresh, n)
+	wantVec := fresh.ToVector(want, n)
+	wantID := want.N.ID()
+	wantSize := CountVNodes(want)
+	wantCN := fresh.CN.Size()
+
+	reused := New()
+	// Unrelated prior work: different width, different gates, forcing the
+	// pools, caches, and weight table to grow along another trajectory.
+	buildProbe(reused, 4)
+	reused.MakeGateDD(7, [4]complex128{1, 0, 0, -1}, 3)
+	reused.Reset()
+
+	got := buildProbe(reused, n)
+	gotVec := reused.ToVector(got, n)
+	if got.N.ID() != wantID {
+		t.Errorf("root node id after reset = %d, fresh = %d", got.N.ID(), wantID)
+	}
+	if sz := CountVNodes(got); sz != wantSize {
+		t.Errorf("DD size after reset = %d, fresh = %d", sz, wantSize)
+	}
+	if reused.CN.Size() != wantCN {
+		t.Errorf("weight table size after reset = %d, fresh = %d", reused.CN.Size(), wantCN)
+	}
+	for i := range wantVec {
+		if gotVec[i] != wantVec[i] { // bit-exact, no tolerance
+			t.Fatalf("amplitude %d differs: %v vs %v", i, gotVec[i], wantVec[i])
+		}
+	}
+	if w, g := want.W.Hash(), got.W.Hash(); w != g {
+		t.Errorf("root weight hash differs: %x vs %x", w, g)
+	}
+
+	// A second reset replays again, this time reusing the already-grown
+	// arena (free-list path rather than chunk growth).
+	reused.Reset()
+	again := buildProbe(reused, n)
+	agVec := reused.ToVector(again, n)
+	for i := range wantVec {
+		if agVec[i] != wantVec[i] {
+			t.Fatalf("amplitude %d differs on second reset: %v vs %v", i, agVec[i], wantVec[i])
+		}
+	}
+	if again.N.ID() != wantID {
+		t.Errorf("root node id after second reset = %d, want %d", again.N.ID(), wantID)
+	}
+}
+
+// TestResetCountersAndPoolInvariants: Reset keeps the Capacity == Live + Free
+// pool invariant, CountV matches CountVNodes, and Prewarm/TrimPools adjust
+// physical capacity without touching logical state.
+func TestResetCountersAndPoolInvariants(t *testing.T) {
+	m := New()
+	state := buildProbe(m, 5)
+	if got, want := m.CountV(state), CountVNodes(state); got != want {
+		t.Fatalf("CountV = %d, CountVNodes = %d", got, want)
+	}
+	// Second CountV reuses the retained scratch map.
+	if got, want := m.CountV(state), CountVNodes(state); got != want {
+		t.Fatalf("CountV (warm) = %d, CountVNodes = %d", got, want)
+	}
+	m.Reset()
+	p := m.Pool()
+	if p.Live != 0 {
+		t.Errorf("live nodes after Reset = %d", p.Live)
+	}
+	if p.Capacity != p.Live+p.Free {
+		t.Errorf("pool invariant broken after Reset: cap=%d live=%d free=%d", p.Capacity, p.Live, p.Free)
+	}
+	if p.Free == 0 {
+		t.Error("Reset returned no nodes to the free lists")
+	}
+	m.TrimPools()
+	p = m.Pool()
+	if p.Capacity != 0 || p.Free != 0 {
+		t.Errorf("TrimPools retained capacity: %+v", p)
+	}
+	m.Prewarm(5000)
+	p = m.Pool()
+	if p.Free < 5000-poolChunk || p.Capacity != p.Live+p.Free {
+		t.Errorf("Prewarm(5000) pool state: %+v", p)
+	}
+	// The manager still works after trim + prewarm.
+	if v := m.ToVector(buildProbe(m, 3), 3); len(v) != 8 {
+		t.Fatalf("probe after TrimPools/Prewarm returned %d amplitudes", len(v))
+	}
+}
+
+// TestCacheGrowthInPlace drives the add cache past several doublings, resets,
+// and drives it again: the second growth must reuse the retained backing and
+// cached results must survive each doubling (hot entries rehash over).
+func TestCacheGrowthOverRetainedBacking(t *testing.T) {
+	m := New()
+	grow := func() VEdge {
+		// Superpositions with many distinct node pairs force add-cache traffic.
+		return buildProbe(m, 8)
+	}
+	grow()
+	grownLen := len(m.addCache)
+	backing := &m.addBack[0]
+	m.Reset()
+	if len(m.addCache) != cacheInitialSize {
+		t.Fatalf("add cache window after Reset = %d, want %d", len(m.addCache), cacheInitialSize)
+	}
+	if len(m.addBack) < grownLen {
+		t.Fatalf("Reset shrank the backing array: %d < %d", len(m.addBack), grownLen)
+	}
+	grow()
+	if len(m.addCache) > len(m.addBack) {
+		t.Fatalf("cache window %d exceeds backing %d", len(m.addCache), len(m.addBack))
+	}
+	if len(m.addBack) == grownLen && &m.addBack[0] != backing {
+		t.Error("regrowth to the same size replaced the backing array instead of reusing it")
+	}
+}

@@ -393,6 +393,15 @@ func TestQueueFullReturns503(t *testing.T) {
 	if !strings.Contains(string(body), "queue full") {
 		t.Errorf("overflow body: %s", body)
 	}
+	// The envelope carries a machine-readable code alongside the message so
+	// clients can map the failure back to a typed sentinel.
+	var env map[string]string
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("overflow body not JSON: %s", body)
+	}
+	if env["code"] != CodeQueueFull {
+		t.Errorf("overflow code %q, want %q", env["code"], CodeQueueFull)
+	}
 }
 
 func TestListAndStatsShapes(t *testing.T) {
@@ -429,6 +438,23 @@ func TestListAndStatsShapes(t *testing.T) {
 	}
 	if st.Pool.Finished != 3 {
 		t.Errorf("pool finished %d, want 3", st.Pool.Finished)
+	}
+	if st.Pool.Uptime <= 0 {
+		t.Error("stats should report pool uptime")
+	}
+	if len(st.Pool.PerWorker) != 2 {
+		t.Fatalf("stats carry %d per-worker pool entries, want 2", len(st.Pool.PerWorker))
+	}
+	perWorkerJobs := 0
+	for w, ws := range st.Pool.PerWorker {
+		perWorkerJobs += ws.Jobs
+		if ws.Jobs > 0 && (ws.Busy <= 0 || ws.Utilization <= 0) {
+			t.Errorf("worker %d ran %d jobs with busy=%v utilization=%v",
+				w, ws.Jobs, ws.Busy, ws.Utilization)
+		}
+	}
+	if perWorkerJobs != 3 {
+		t.Errorf("per-worker jobs sum to %d, want 3", perWorkerJobs)
 	}
 	if len(st.Workers) == 0 {
 		t.Error("stats should carry at least one per-worker DD snapshot")

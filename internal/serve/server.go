@@ -26,6 +26,28 @@ const (
 	StatusDeadline = "deadline_exceeded"
 )
 
+// Machine-readable error codes carried in the error envelope's "code" field,
+// so clients can map rejections back to typed sentinels (batch.ErrQueueFull,
+// batch.ErrShutdown, batch.ErrCanceled) instead of matching message text.
+const (
+	CodeQueueFull = "queue_full"
+	CodeShutdown  = "shutdown"
+	CodeCanceled  = "canceled"
+)
+
+// errorCode classifies an error into an API error code ("" when untyped).
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, batch.ErrQueueFull):
+		return CodeQueueFull
+	case errors.Is(err, batch.ErrShutdown):
+		return CodeShutdown
+	case errors.Is(err, batch.ErrCanceled):
+		return CodeCanceled
+	}
+	return ""
+}
+
 // Config sizes a Server. The zero value selects sensible defaults
 // everywhere: one worker per CPU, a 4×workers submission queue, a
 // 1024-entry result cache, fresh managers per job, and no qubit/shot/time
@@ -60,12 +82,14 @@ type Config struct {
 	// this, the oldest are evicted and streams report the gap; 0 selects
 	// 1024, the minimum is 16. The buffer never blocks the simulation.
 	EventBufferSize int
-	// ReuseManagers keeps one DD manager per worker across jobs (faster
-	// for heavy traffic; amplitudes may differ in low-order digits between
-	// identical uncached submissions, see batch.Options.ReuseManagers).
-	// The default — fresh manager per job — keeps every result exactly
-	// reproducible from the submission content.
+	// ReuseManagers keeps one DD manager per worker across jobs, reset
+	// between jobs: warm memory under heavy traffic with results still
+	// bit-identical to fresh managers (see batch.Options.ReuseManagers).
+	// The default builds a fresh manager per job.
 	ReuseManagers bool
+	// Arena sizes the per-worker memory arenas when ReuseManagers is set
+	// (pre-warmed node pools, bounded retention); see batch.ArenaConfig.
+	Arena batch.ArenaConfig
 	// BaseSeed participates in derived measurement seeds only through
 	// jobs submitted with an explicit seed of 0 — those derive from the
 	// content hash instead, so this is reserved and currently unused
@@ -150,6 +174,7 @@ func New(cfg Config) *Server {
 			QueueDepth:    cfg.QueueDepth,
 			BaseSeed:      cfg.BaseSeed,
 			ReuseManagers: cfg.ReuseManagers,
+			Arena:         cfg.Arena,
 		}),
 		cache:    newResultCache(cfg.CacheEntries),
 		jobs:     make(map[string]*jobState),
@@ -302,7 +327,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server shutting down: %w", batch.ErrShutdown))
 		return
 	}
 	s.nextID++
@@ -642,5 +668,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if c := errorCode(err); c != "" {
+		body["code"] = c
+	}
+	writeJSON(w, code, body)
 }

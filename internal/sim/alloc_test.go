@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestWarmRunsAllocateFarLessThanCold proves the arena story at the
+// simulator level: a Reset simulator replays a job out of retained memory
+// (node pools, compute-cache backing arrays, gate-DD scratch), so warm
+// steady-state runs allocate a small fraction of what a cold simulator
+// pays building all of that from scratch.
+func TestWarmRunsAllocateFarLessThanCold(t *testing.T) {
+	c := gen.RandomCliffordT(8, 150, 1)
+
+	cold := testing.AllocsPerRun(5, func() {
+		if _, err := New().Run(c, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	s := New()
+	if _, err := s.Run(c, Options{}); err != nil { // prime pools and caches
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(5, func() {
+		s.Reset()
+		if _, err := s.Run(c, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("allocs/run: cold=%.0f warm=%.0f (%.1fx)", cold, warm, cold/warm)
+	if warm*5 > cold {
+		t.Errorf("warm runs allocate %.0f/run, want <1/5 of cold (%.0f/run)", warm, cold)
+	}
+}

@@ -46,7 +46,6 @@ type Session struct {
 	ctx    context.Context    // nil when neither Context nor Deadline is set
 	cancel context.CancelFunc // non-nil iff a deadline context was derived
 
-	gateCache  map[string]dd.MEdge
 	measureRNG *rand.Rand // lazily created on first measurement
 
 	state     dd.VEdge
@@ -173,7 +172,12 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 	if opts.CollectSizeHistory {
 		res.SizeHistory = make([]int, 0, c.Len())
 	}
-	res.MaxDDSize = dd.CountVNodes(state)
+	res.MaxDDSize = m.CountV(state)
+
+	// Invalidate the simulator's retained gate cache: stale operation DDs
+	// from an earlier run can never leak in, but the signature slots (and
+	// the slice capacity) survive across jobs on a reused manager.
+	s.clearGateCache()
 
 	*ses = Session{
 		sim:          s,
@@ -185,7 +189,6 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 		res:          res,
 		ctx:          ctx,
 		cancel:       cancel,
-		gateCache:    make(map[string]dd.MEdge, 32),
 		state:        state,
 		highWater:    highWater,
 		start:        time.Now(),
@@ -300,8 +303,8 @@ func (ses *Session) Finish() (*Result, error) {
 	ses.release()
 	res := ses.res
 	res.Final = ses.state
-	res.FinalDDSize = dd.CountVNodes(ses.state)
 	m := ses.sim.M
+	res.FinalDDSize = m.CountV(ses.state)
 	if res.InitialOrder != nil {
 		res.FinalOrder = m.Order(res.NumQubits)
 	}
@@ -337,7 +340,7 @@ func (ses *Session) Abort() {
 	}
 	ses.err = ErrSessionAborted
 	ses.release()
-	finalSize := dd.CountVNodes(ses.state) // before the sweep frees these nodes
+	finalSize := ses.sim.M.CountV(ses.state) // before the sweep frees these nodes
 	ses.sim.M.Cleanup(ses.opts.KeepAlive, nil)
 	ses.obs.OnFinish(core.FinishEvent{
 		GatesApplied:      ses.next,
@@ -357,7 +360,7 @@ func (ses *Session) fail(err error) error {
 	ses.obs.OnFinish(core.FinishEvent{
 		GatesApplied:      ses.next,
 		MaxDDSize:         ses.res.MaxDDSize,
-		FinalDDSize:       dd.CountVNodes(ses.state),
+		FinalDDSize:       ses.sim.M.CountV(ses.state),
 		Rounds:            ses.tracker.Count(),
 		EstimatedFidelity: ses.tracker.Achieved(),
 		Err:               err,
@@ -403,7 +406,7 @@ func (ses *Session) step() error {
 		}
 		ses.state = m.NormalizeRootWeight(ses.state)
 	default:
-		op, err := ses.sim.gateDD(g, c.NumQubits, ses.gateCache)
+		op, err := ses.sim.gateDD(g, c.NumQubits)
 		if err != nil {
 			return fmt.Errorf("sim: gate %d (%s): %w", i, g.String(), err)
 		}
@@ -413,7 +416,7 @@ func (ses *Session) step() error {
 	if m.IsVZero(ses.state) {
 		return fmt.Errorf("sim: state vanished after gate %d (%s)", i, g.String())
 	}
-	size := dd.CountVNodes(ses.state)
+	size := m.CountV(ses.state)
 	if size > ses.res.MaxDDSize {
 		ses.res.MaxDDSize = size
 	}
@@ -433,10 +436,13 @@ func (ses *Session) step() error {
 	ses.maybeSift(i, size, round != nil)
 	if live := m.Pool().Live; live > ses.highWater {
 		roots := append([]dd.VEdge{ses.state}, ses.opts.KeepAlive...)
-		mRoots := make([]dd.MEdge, 0, len(ses.gateCache))
-		for _, e := range ses.gateCache {
-			mRoots = append(mRoots, e)
+		mRoots := ses.sim.mRoots[:0]
+		for _, e := range ses.sim.gateDDs {
+			if e.N != nil {
+				mRoots = append(mRoots, e)
+			}
 		}
+		ses.sim.mRoots = mRoots
 		m.Cleanup(roots, mRoots)
 		ses.res.Cleanups++
 		after := m.Pool().Live
@@ -465,7 +471,7 @@ func (ses *Session) maybeSift(gateIdx, size int, approximated bool) {
 	if approximated {
 		// An approximation round replaced the state after `size` was
 		// counted; only then is a recount needed.
-		size = dd.CountVNodes(ses.state)
+		size = ses.sim.M.CountV(ses.state)
 	}
 	if size <= ses.siftThreshold {
 		return
@@ -473,7 +479,7 @@ func (ses *Session) maybeSift(gateIdx, size int, approximated bool) {
 	m := ses.sim.M
 	roots, rep := m.Sift(ses.c.NumQubits, []dd.VEdge{ses.state}, ses.siftCfg)
 	ses.state = roots[0]
-	clear(ses.gateCache)
+	ses.sim.clearGateCache()
 	ses.res.SiftPasses++
 	ses.res.SiftSwaps += rep.Swaps
 	// Raise the trigger past the size sifting reached: if the pass could

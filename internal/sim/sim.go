@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/circuit"
@@ -143,6 +142,22 @@ func (w WeightTableStats) HitRatio() float64 {
 // and may be compared with Fidelity.
 type Simulator struct {
 	M *dd.Manager
+
+	// Gate-DD cache. sigSlots maps gate signatures to slots and survives
+	// Reset — the signature strings are allocated once per distinct gate
+	// over the simulator's lifetime, not once per job. gateDDs holds the
+	// per-epoch operation DDs (an edge with a nil node is unbuilt);
+	// invalidation (session start/end, Reset, reorder passes) zeroes the
+	// slice without touching the map, so warm jobs rebuild gate DDs out of
+	// pooled nodes with zero cache-key churn. Sessions on one simulator are
+	// sequential by contract, so sharing the cache is safe.
+	sigSlots map[string]int
+	gateDDs  []dd.MEdge
+	// sigBuf is the reusable gate-signature buffer; slot lookups go through
+	// sigSlots[string(sigBuf)] so a hit allocates nothing.
+	sigBuf []byte
+	// mRoots is the reusable mark-phase root buffer for mid-run Cleanup.
+	mRoots []dd.MEdge
 }
 
 // New returns a Simulator with a fresh manager.
@@ -150,9 +165,26 @@ func New() *Simulator { return &Simulator{M: dd.New()} }
 
 // Recycle sweeps the manager's node pools with no roots, returning every
 // node built by previous runs to the free lists for reuse. Edges from
-// earlier Results (including Result.Final) become invalid; the batch engine
-// calls this between jobs when managers are reused.
+// earlier Results (including Result.Final) become invalid; Reset is the
+// stronger variant that also restores bit-level reproducibility.
 func (s *Simulator) Recycle() { s.M.Cleanup(nil, nil) }
+
+// Reset restores the simulator to a logically fresh state while keeping its
+// accumulated memory (node pools, cache backings, interned-weight arena) for
+// reuse: the next run behaves bit-identically to one on a brand-new
+// Simulator, but allocates almost nothing. Edges from earlier Results become
+// invalid. The batch engine calls this between jobs when managers are
+// reused.
+func (s *Simulator) Reset() {
+	s.M.Reset()
+	s.clearGateCache()
+}
+
+// clearGateCache invalidates every cached operation DD while keeping the
+// signature-to-slot map (and its interned key strings) intact.
+func (s *Simulator) clearGateCache() {
+	clear(s.gateDDs) // zero the elements; slots and capacity survive
+}
 
 // Run simulates the circuit under the given options. It is a thin loop over
 // a Session — results are identical to stepping a session to completion —
@@ -166,11 +198,20 @@ func (s *Simulator) Run(c *circuit.Circuit, opts Options) (*Result, error) {
 }
 
 // gateDD builds (or fetches) the operation DD for a gate.
-func (s *Simulator) gateDD(g circuit.Gate, n int, cache map[string]dd.MEdge) (dd.MEdge, error) {
+func (s *Simulator) gateDD(g circuit.Gate, n int) (dd.MEdge, error) {
 	switch g.Kind {
 	case circuit.KindUnitary:
-		sig := gateSignature(g)
-		if e, ok := cache[sig]; ok {
+		s.sigBuf = appendGateSignature(s.sigBuf[:0], g)
+		slot, ok := s.sigSlots[string(s.sigBuf)]
+		if !ok {
+			if s.sigSlots == nil {
+				s.sigSlots = make(map[string]int, 32)
+			}
+			slot = len(s.gateDDs)
+			s.sigSlots[string(s.sigBuf)] = slot
+			s.gateDDs = append(s.gateDDs, dd.MEdge{})
+		}
+		if e := s.gateDDs[slot]; e.N != nil {
 			return e, nil
 		}
 		u, err := g.Matrix()
@@ -178,7 +219,7 @@ func (s *Simulator) gateDD(g circuit.Gate, n int, cache map[string]dd.MEdge) (dd
 			return dd.MEdge{}, err
 		}
 		e := s.M.MakeGateDD(n, u, g.Target, g.Controls...)
-		cache[sig] = e
+		s.gateDDs[slot] = e
 		return e, nil
 	case circuit.KindPerm:
 		if !s.M.OrderIsIdentity() {
@@ -194,22 +235,25 @@ func (s *Simulator) gateDD(g circuit.Gate, n int, cache map[string]dd.MEdge) (dd
 	}
 }
 
-func gateSignature(g circuit.Gate) string {
-	var b strings.Builder
-	b.WriteString(g.Name)
+// appendGateSignature appends the gate's cache key to buf. Callers look the
+// key up via cache[string(buf)], which the compiler recognizes as a
+// no-allocation map access — so a cache hit costs zero allocations and only
+// a miss materializes the string (as the stored key).
+func appendGateSignature(buf []byte, g circuit.Gate) []byte {
+	buf = append(buf, g.Name...)
 	for _, p := range g.Params {
-		b.WriteByte('(')
-		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+		buf = append(buf, '(')
+		buf = strconv.AppendFloat(buf, p, 'g', -1, 64)
 	}
-	b.WriteByte('@')
-	b.WriteString(strconv.Itoa(g.Target))
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, int64(g.Target), 10)
 	for _, c := range g.Controls {
 		if c.Positive {
-			b.WriteByte('+')
+			buf = append(buf, '+')
 		} else {
-			b.WriteByte('-')
+			buf = append(buf, '-')
 		}
-		b.WriteString(strconv.Itoa(c.Qubit))
+		buf = strconv.AppendInt(buf, int64(c.Qubit), 10)
 	}
-	return b.String()
+	return buf
 }

@@ -15,6 +15,14 @@
 //   - its ns/op regressed by more than -threshold (relative, after scaling
 //     the baseline by the machines' calibration ratio; -min-ns optionally
 //     floors out benchmarks measured too briefly to trust), or
+//   - its allocs/op or B/op regressed by more than -threshold (these are
+//     machine-independent, so they gate unscaled), or
+//   - the batch engine stopped scaling: BenchmarkBatchRun/workers4 must be
+//     at least -min-scaling times faster than workers1 (skipped with a note
+//     when the summary was measured on fewer than 4 CPUs), or
+//   - manager reuse stopped paying: BenchmarkBatchRun/workers4_arena must
+//     allocate at least -min-alloc-factor times fewer allocs/op and B/op
+//     than the fresh-manager workers4 configuration, or
 //   - the ordering win disappeared: BenchmarkSessionOrdering/scored must
 //     keep its peak_nodes metric below BenchmarkSessionOrdering/identity.
 //
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,8 +55,13 @@ type Summary struct {
 	// scales baseline ns/op by the calibration ratio, so the gate compares
 	// work, not machine speed — the committed baseline stays meaningful on
 	// faster/slower/throttled runners.
-	CalibrationNs float64              `json:"calibration_ns"`
-	Benchmarks    map[string]Benchmark `json:"benchmarks"`
+	CalibrationNs float64 `json:"calibration_ns"`
+	// NumCPU is the logical CPU count of the machine that produced the
+	// summary. The parallel-scaling gate self-skips when the current
+	// summary was measured on fewer than 4 CPUs — there is no speedup to
+	// measure there.
+	NumCPU     int                  `json:"num_cpu"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
 // Benchmark is one parsed benchmark result.
@@ -70,16 +84,18 @@ func main() {
 	check := flag.Bool("check", false, "compare -summary against -baseline instead of parsing")
 	baseline := flag.String("baseline", "bench_baseline.json", "committed baseline summary (check mode)")
 	summaryPath := flag.String("summary", "BENCH_summary.json", "freshly produced summary (check mode)")
-	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression that fails the gate")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op (and allocs/bytes) regression that fails the gate")
 	minNs := flag.Float64("min-ns", 0, "ignore ns/op regressions when the baseline is below this floor (escape hatch for benchmarks too small for their -benchtime)")
 	// The multi-worker BatchRun configurations measure parallel scaling,
 	// which depends on ambient machine load no calibration can correct, so
 	// the gate covers the Batch engine through its serial configuration.
 	match := flag.String("match", `Gate|Session|BatchRun/workers1$`, "regexp selecting the gated benchmarks")
+	minScaling := flag.Float64("min-scaling", 2.5, "required BatchRun workers1/workers4 ns/op speedup; skipped below 4 CPUs (0 disables)")
+	minAllocFactor := flag.Float64("min-alloc-factor", 5, "required allocs/op and B/op reduction of BatchRun/workers4_arena vs workers4 (0 disables)")
 	flag.Parse()
 
 	if *check {
-		if err := runCheck(*baseline, *summaryPath, *threshold, *minNs, *match); err != nil {
+		if err := runCheck(*baseline, *summaryPath, *threshold, *minNs, *match, *minScaling, *minAllocFactor); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
 			os.Exit(1)
 		}
@@ -100,6 +116,7 @@ func runSummarize(in, out string) error {
 		return fmt.Errorf("no benchmark results found in %s", in)
 	}
 	sum.CalibrationNs = calibrate()
+	sum.NumCPU = runtime.NumCPU()
 	raw, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		return err
@@ -269,7 +286,7 @@ func loadSummary(path string) (*Summary, error) {
 	return &s, nil
 }
 
-func runCheck(baselinePath, summaryPath string, threshold, minNs float64, match string) error {
+func runCheck(baselinePath, summaryPath string, threshold, minNs float64, match string, minScaling, minAllocFactor float64) error {
 	matcher, err := regexp.Compile(match)
 	if err != nil {
 		return fmt.Errorf("bad -match: %w", err)
@@ -323,6 +340,64 @@ func runCheck(baselinePath, summaryPath string, threshold, minNs float64, match 
 		if c.NsPerOp > allowed {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (+%.0f%% speed-adjusted, gate is +%.0f%%)",
 				name, b.NsPerOp*speed, c.NsPerOp, 100*(c.NsPerOp/(b.NsPerOp*speed)-1), 100*threshold))
+		}
+		// Allocation counts and bytes are machine-independent, so they gate
+		// unscaled. Small absolute slacks keep pool warm-up jitter and
+		// one-off allocations from tripping the relative threshold on tiny
+		// benchmarks.
+		if c.AllocsPerOp > b.AllocsPerOp*(1+threshold)+64 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f (gate is +%.0f%%)",
+				name, b.AllocsPerOp, c.AllocsPerOp, 100*threshold))
+		}
+		if c.BytesPerOp > b.BytesPerOp*(1+threshold)+4096 {
+			failures = append(failures, fmt.Sprintf("%s: B/op regressed %.0f -> %.0f (gate is +%.0f%%)",
+				name, b.BytesPerOp, c.BytesPerOp, 100*threshold))
+		}
+	}
+
+	// Parallel-scaling gate: the multi-worker configurations are excluded
+	// from the cross-machine ns/op gate, but within one summary the
+	// workers1/workers4 ratio is a load-normalized speedup. It needs real
+	// cores; on fewer than 4 CPUs the gate self-skips with a note.
+	if minScaling > 0 {
+		w1, ok1 := cur.Benchmarks["BenchmarkBatchRun/workers1"]
+		w4, ok4 := cur.Benchmarks["BenchmarkBatchRun/workers4"]
+		switch {
+		case cur.NumCPU < 4:
+			fmt.Printf("benchsummary: note: parallel-scaling gate skipped (summary measured on %d CPUs, need 4)\n", cur.NumCPU)
+		case !ok1 || !ok4:
+			failures = append(failures, "BenchmarkBatchRun/{workers1,workers4}: missing from summary (parallel scaling unverified)")
+		case w1.NsPerOp < minScaling*w4.NsPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"BenchmarkBatchRun: workers4 speedup %.2fx over workers1, gate requires >= %.2fx",
+				w1.NsPerOp/w4.NsPerOp, minScaling))
+		default:
+			fmt.Printf("benchsummary: parallel scaling OK (workers4 %.2fx faster than workers1 on %d CPUs)\n",
+				w1.NsPerOp/w4.NsPerOp, cur.NumCPU)
+		}
+	}
+
+	// Arena gate: reusing per-worker managers must keep cutting allocation
+	// traffic by at least minAllocFactor against the fresh-manager
+	// configuration. Allocation counts do not depend on core count, so this
+	// gate runs everywhere.
+	if minAllocFactor > 0 {
+		fresh, okF := cur.Benchmarks["BenchmarkBatchRun/workers4"]
+		arena, okA := cur.Benchmarks["BenchmarkBatchRun/workers4_arena"]
+		switch {
+		case !okF || !okA:
+			failures = append(failures, "BenchmarkBatchRun/{workers4,workers4_arena}: missing from summary (arena reduction unverified)")
+		case arena.AllocsPerOp*minAllocFactor > fresh.AllocsPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"BenchmarkBatchRun: arena allocs/op %.0f vs fresh %.0f (%.1fx reduction, gate requires >= %.1fx)",
+				arena.AllocsPerOp, fresh.AllocsPerOp, fresh.AllocsPerOp/arena.AllocsPerOp, minAllocFactor))
+		case arena.BytesPerOp*minAllocFactor > fresh.BytesPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"BenchmarkBatchRun: arena B/op %.0f vs fresh %.0f (%.1fx reduction, gate requires >= %.1fx)",
+				arena.BytesPerOp, fresh.BytesPerOp, fresh.BytesPerOp/arena.BytesPerOp, minAllocFactor))
+		default:
+			fmt.Printf("benchsummary: arena reduction OK (allocs %.1fx, bytes %.1fx below fresh managers)\n",
+				fresh.AllocsPerOp/arena.AllocsPerOp, fresh.BytesPerOp/arena.BytesPerOp)
 		}
 	}
 
