@@ -15,8 +15,12 @@ BENCH_CHECK_MIN_NS ?= 0
 # reused-manager arena configuration over fresh managers. 0 disables either.
 BENCH_CHECK_MIN_SCALING ?= 2.5
 BENCH_CHECK_MIN_ALLOC_FACTOR ?= 5
+# Cluster routing gate: relative calibration-adjusted p99 regression of the
+# hash-routed sweep that fails bench-check (the hit-rate gate — hash must
+# beat round-robin — has no knob; it is the point of the router).
+BENCH_CLUSTER_THRESHOLD ?= 0.25
 
-.PHONY: all build test race bench bench-smoke bench-check bench-baseline examples fmt fmt-check vet doc-lint simd-smoke ci
+.PHONY: all build test race bench bench-smoke bench-check bench-baseline bench-cluster bench-cluster-baseline examples fmt fmt-check vet doc-lint simd-smoke cluster-smoke ci
 
 all: build
 
@@ -47,25 +51,42 @@ bench-smoke:
 		./internal/batch >> BENCH_dd.json
 	$(GO) run ./scripts/benchsummary -in BENCH_dd.json -out BENCH_summary.json
 
+## bench-cluster: run the cluster latency harness (cmd/loadgen boots a local
+## router + 2 backends and sweeps offered load under hash and round-robin
+## routing), producing BENCH_cluster.json for the bench-check cluster gate
+bench-cluster:
+	$(GO) run ./cmd/loadgen -out BENCH_cluster.json
+
 ## bench-check: the perf-regression gate — fail when a Gate/Batch/Session
 ## benchmark's ns/op, allocs/op, or B/op regressed more than
 ## BENCH_CHECK_THRESHOLD against the committed bench_baseline.json, when
 ## BatchRun stops scaling (workers4 vs workers1, 4+ CPU runners only) or the
-## arena configuration stops cutting allocations, or when the ordering
-## benchmark stops showing scored < identity peak nodes. Runs bench-smoke
-## first so the summary is fresh.
-bench-check: bench-smoke
+## arena configuration stops cutting allocations, when the ordering
+## benchmark stops showing scored < identity peak nodes, when hash-affinity
+## routing stops beating round-robin on cluster cache hit rate, or when the
+## hash-routed p99 regresses more than BENCH_CLUSTER_THRESHOLD against
+## bench_cluster_baseline.json (calibration-adjusted). Runs bench-smoke and
+## bench-cluster first so both artifacts are fresh.
+bench-check: bench-smoke bench-cluster
 	$(GO) run ./scripts/benchsummary -check \
 		-baseline bench_baseline.json -summary BENCH_summary.json \
 		-threshold $(BENCH_CHECK_THRESHOLD) -min-ns $(BENCH_CHECK_MIN_NS) \
 		-min-scaling $(BENCH_CHECK_MIN_SCALING) \
-		-min-alloc-factor $(BENCH_CHECK_MIN_ALLOC_FACTOR)
+		-min-alloc-factor $(BENCH_CHECK_MIN_ALLOC_FACTOR) \
+		-cluster BENCH_cluster.json -cluster-baseline bench_cluster_baseline.json \
+		-cluster-threshold $(BENCH_CLUSTER_THRESHOLD)
 
 ## bench-baseline: refresh the committed perf baseline from a fresh
 ## bench-smoke run (commit the resulting bench_baseline.json)
 bench-baseline: bench-smoke
 	cp BENCH_summary.json bench_baseline.json
 	@echo "bench-baseline: baseline refreshed; commit bench_baseline.json"
+
+## bench-cluster-baseline: refresh the committed cluster latency baseline
+## from a fresh bench-cluster run (commit bench_cluster_baseline.json)
+bench-cluster-baseline: bench-cluster
+	cp BENCH_cluster.json bench_cluster_baseline.json
+	@echo "bench-cluster-baseline: baseline refreshed; commit bench_cluster_baseline.json"
 
 ## examples: compile every example program (the CI gate keeping docs honest)
 examples:
@@ -110,5 +131,11 @@ doc-lint:
 simd-smoke:
 	sh scripts/simd_smoke.sh
 
+## cluster-smoke: boot a router + 2 backends, run a QASM job through the
+## router, verify hash-affinity cache hits and aggregated cluster stats, and
+## drain gracefully on SIGTERM (the CI gate)
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 ## ci: everything the pipeline runs, in order
-ci: fmt-check vet doc-lint build examples race simd-smoke
+ci: fmt-check vet doc-lint build examples race simd-smoke cluster-smoke

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -103,8 +104,16 @@ type APIError struct {
 	StatusCode int
 	Message    string
 	// Code is the service's machine-readable error code ("queue_full",
-	// "shutdown", "canceled"), empty for untyped errors.
+	// "shutdown", "canceled", and from the router "no_backend",
+	// "backend_down"), empty for untyped errors.
 	Code string
+	// RetryAfter is the server's backpressure hint (from the envelope's
+	// retry_after_ms, falling back to the Retry-After header), zero when the
+	// server offered none. Retrying clients wait at least this long.
+	RetryAfter time.Duration
+	// QueueDepth is the rejecting backend's queue depth at rejection time
+	// (queue-full envelopes only, 0 otherwise).
+	QueueDepth int
 }
 
 func (e *APIError) Error() string {
@@ -138,6 +147,11 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+
+	// jitter returns a uniform sample in [0, 1); sleepFn blocks for d or
+	// until ctx is done. Both are swapped out by tests for a fake clock.
+	jitter  func() float64
+	sleepFn func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures a Client.
@@ -151,8 +165,9 @@ func WithHTTPClient(hc *http.Client) Option {
 }
 
 // WithRetries sets how many times transient failures (connection errors,
-// 502/503/504) are retried and the base backoff between attempts (doubled
-// per retry, context-aware). The default is 2 retries, 100 ms.
+// 502/503/504) are retried and the base backoff between attempts. The actual
+// wait doubles per retry with equal jitter, and waits at least as long as
+// any server Retry-After hint. The default is 2 retries, 100 ms.
 func WithRetries(n int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = n, backoff }
 }
@@ -165,6 +180,15 @@ func New(baseURL string, opts ...Option) *Client {
 		hc:      &http.Client{},
 		retries: 2,
 		backoff: 100 * time.Millisecond,
+		jitter:  rand.Float64,
+		sleepFn: func(ctx context.Context, d time.Duration) error {
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-time.After(d):
+				return nil
+			}
+		},
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -279,8 +303,8 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) (*
 		if !c.retryable(err) || attempt >= c.retries {
 			return nil, err
 		}
-		if err := c.sleep(ctx, attempt); err != nil {
-			return nil, err
+		if serr := c.sleep(ctx, attempt, err); serr != nil {
+			return nil, serr
 		}
 		attempt++
 	}
@@ -355,7 +379,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 		if ctx.Err() != nil || !c.retryable(lastErr) || attempt >= c.retries {
 			return lastErr
 		}
-		if err := c.sleep(ctx, attempt); err != nil {
+		if err := c.sleep(ctx, attempt, lastErr); err != nil {
 			return err
 		}
 	}
@@ -390,25 +414,37 @@ func (c *Client) retryable(err error) bool {
 	return !errors.As(err, &abort)
 }
 
-func (c *Client) sleep(ctx context.Context, attempt int) error {
-	d := c.backoff << attempt
-	if d <= 0 {
-		d = time.Millisecond
+// sleep backs off before retry number attempt. The base delay is exponential
+// (backoff << attempt) with equal jitter — half deterministic, half uniform —
+// so a fleet of clients rejected together does not retry together. When the
+// failure carried a server Retry-After hint, the wait is at least that long
+// (plus the random half, keeping the herd spread).
+func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
+	return c.sleepFn(ctx, c.delay(attempt, lastErr))
+}
+
+func (c *Client) delay(attempt int, lastErr error) time.Duration {
+	base := c.backoff << attempt
+	if base <= 0 {
+		base = time.Millisecond
 	}
-	select {
-	case <-ctx.Done():
-		return context.Cause(ctx)
-	case <-time.After(d):
-		return nil
+	spread := time.Duration(c.jitter() * float64(base/2))
+	d := base/2 + spread
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 && apiErr.RetryAfter+spread > d {
+		d = apiErr.RetryAfter + spread
 	}
+	return d
 }
 
 func decodeAPIError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var env struct {
-		Error  string `json:"error"`
-		Status string `json:"status"`
-		Code   string `json:"code"`
+		Error        string `json:"error"`
+		Status       string `json:"status"`
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+		QueueDepth   int    `json:"queue_depth"`
 	}
 	msg := strings.TrimSpace(string(raw))
 	if err := json.Unmarshal(raw, &env); err == nil {
@@ -421,5 +457,17 @@ func decodeAPIError(resp *http.Response) error {
 			msg = env.Status
 		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: env.Code}
+	ra := time.Duration(env.RetryAfterMS) * time.Millisecond
+	if ra == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+	}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    msg,
+		Code:       env.Code,
+		RetryAfter: ra,
+		QueueDepth: env.QueueDepth,
+	}
 }

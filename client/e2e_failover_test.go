@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestE2ERouterFailoverCompletesAllAcceptedJobs is the cluster's crash drill:
+// a router fronts two real backends, one backend is killed mid-load, and
+// every request still reaches a terminal done state — submissions reroute to
+// the survivor, jobs lost with the dead backend are resubmitted (content
+// addressing makes that free of duplicate side effects), and the router's
+// stats record the mark-down. Runs under -race with the rest of the suite.
+func TestE2ERouterFailoverCompletesAllAcceptedJobs(t *testing.T) {
+	backends := startKillableBackends(t, 2)
+	rt, err := cluster.New(cluster.Config{
+		Backends:      []string{backends[0].hs.URL, backends[1].hs.URL},
+		ProbeInterval: 15 * time.Millisecond,
+		MarkDownAfter: 2,
+		MarkUpAfter:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	routerHS := httptest.NewServer(rt.Handler())
+	defer routerHS.Close()
+	cl := New(routerHS.URL, WithRetries(2, time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	const n = 10
+	reqs := make([]JobRequest, n)
+	for i := range reqs {
+		reqs[i] = JobRequest{QASM: clusterQASM, Shots: 16, Seed: int64(i + 1)}
+	}
+
+	// The first accepted job names the victim: its owner dies immediately,
+	// so some jobs are guaranteed to be in flight against a dying backend.
+	var killOnce sync.Once
+	var victimMu sync.Mutex
+	victim := ""
+	killOwner := func(routedID string) {
+		killOnce.Do(func() {
+			name, _, _ := strings.Cut(routedID, ".")
+			victimMu.Lock()
+			victim = name
+			victimMu.Unlock()
+			for i, kb := range backends {
+				if name == []string{"b0", "b1"}[i] {
+					kb.kill()
+				}
+			}
+		})
+	}
+
+	// run drives one request to a terminal state through the router,
+	// resubmitting whenever the job's owner becomes unreachable (502) or is
+	// marked down (503) — the client's jittered backoff honors the router's
+	// Retry-After hints along the way.
+	run := func(req JobRequest) (*JobStatus, error) {
+		for {
+			st, err := cl.Submit(ctx, req)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			killOwner(st.ID)
+			for {
+				cur, err := cl.Status(ctx, st.ID)
+				if err != nil {
+					if ctx.Err() != nil {
+						return nil, err
+					}
+					break // owner gone: resubmit from the top
+				}
+				switch cur.Status {
+				case StatusQueued, StatusRunning:
+					time.Sleep(5 * time.Millisecond)
+				default:
+					return cur, nil
+				}
+			}
+		}
+	}
+
+	finals := make([]*JobStatus, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 3)
+	for i := range reqs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			finals[i], errs[i] = run(reqs[i])
+		}()
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("request %d never completed: %v", i, errs[i])
+		}
+		if finals[i].Status != StatusDone {
+			t.Fatalf("request %d ended %q: %s", i, finals[i].Status, finals[i].Error)
+		}
+	}
+
+	// The prober records the crash: exactly one backend marked down.
+	victimMu.Lock()
+	deadName := victim
+	victimMu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cs := rt.Stats(ctx)
+		if cs.Down == 1 && cs.Up == 1 {
+			for _, b := range cs.Backends {
+				if b.Name == deadName && b.Up {
+					t.Errorf("victim %s still reported up: %+v", deadName, b)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mark-down never reflected in stats: %+v", cs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// No duplicate side effects: once a request's result exists on the
+	// survivor, resubmitting it answers from the cache instead of executing
+	// again.
+	for i, req := range reqs {
+		st, err := run(req) // lands every result on the survivor
+		if err != nil || st.Status != StatusDone {
+			t.Fatalf("request %d resubmission: %v / %+v", i, err, st)
+		}
+		again, err := cl.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d cached resubmission: %v", i, err)
+		}
+		if !again.Cached || again.Status != StatusDone {
+			t.Errorf("request %d re-executed instead of hitting the cache: %+v", i, again)
+		}
+	}
+}

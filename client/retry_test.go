@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// recordSleeps replaces the client's clock so tests assert exact backoff
+// durations without ever actually sleeping.
+func recordSleeps(c *Client) *[]time.Duration {
+	rec := &[]time.Duration{}
+	c.sleepFn = func(ctx context.Context, d time.Duration) error {
+		*rec = append(*rec, d)
+		return nil
+	}
+	return rec
+}
+
+func TestDelayExponentialWithEqualJitter(t *testing.T) {
+	c := New("http://unused", WithRetries(3, 100*time.Millisecond))
+	c.jitter = func() float64 { return 0 }
+	// Equal jitter: half the exponential base is deterministic, half random.
+	if d := c.delay(0, nil); d != 50*time.Millisecond {
+		t.Errorf("attempt 0, jitter 0: %v, want 50ms", d)
+	}
+	if d := c.delay(1, nil); d != 100*time.Millisecond {
+		t.Errorf("attempt 1, jitter 0: %v, want 100ms", d)
+	}
+	c.jitter = func() float64 { return 0.5 }
+	if d := c.delay(0, nil); d != 75*time.Millisecond {
+		t.Errorf("attempt 0, jitter 0.5: %v, want 75ms", d)
+	}
+	if d := c.delay(2, nil); d != 300*time.Millisecond {
+		t.Errorf("attempt 2, jitter 0.5: %v, want 300ms", d)
+	}
+	// The full jitter range stays within [base/2, base).
+	c.jitter = func() float64 { return 0.999999 }
+	if d := c.delay(0, nil); d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Errorf("attempt 0, jitter ~1: %v escapes [50ms, 100ms)", d)
+	}
+}
+
+func TestDelayHonorsRetryAfter(t *testing.T) {
+	c := New("http://unused", WithRetries(2, 100*time.Millisecond))
+	c.jitter = func() float64 { return 0.5 }
+	hint := &APIError{StatusCode: 503, Code: "queue_full", RetryAfter: 700 * time.Millisecond}
+	// The server hint dominates the exponential schedule (plus the random
+	// half, so hinted clients still spread out).
+	if d := c.delay(0, hint); d != 725*time.Millisecond {
+		t.Errorf("hinted delay %v, want 725ms", d)
+	}
+	// Wrapped errors still surface the hint.
+	if d := c.delay(0, fmt.Errorf("submit: %w", hint)); d != 725*time.Millisecond {
+		t.Errorf("wrapped hinted delay %v, want 725ms", d)
+	}
+	// A hint below the exponential schedule does not shorten it.
+	small := &APIError{StatusCode: 503, RetryAfter: 10 * time.Millisecond}
+	if d := c.delay(0, small); d != 75*time.Millisecond {
+		t.Errorf("small hint delay %v, want 75ms", d)
+	}
+}
+
+func TestSubmitRetriesQueueFullWithServerHint(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"queue full","code":"queue_full","queue_depth":4,"retry_after_ms":250}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-000001","status":"queued"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(3, 100*time.Millisecond))
+	c.jitter = func() float64 { return 0 }
+	slept := recordSleeps(c)
+	st, err := c.Submit(context.Background(), JobRequest{QASM: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-000001" || attempts != 3 {
+		t.Errorf("id %q after %d attempts, want job-000001 after 3", st.ID, attempts)
+	}
+	// retry_after_ms (250ms) dominates the 50ms/100ms exponential schedule.
+	want := []time.Duration{250 * time.Millisecond, 250 * time.Millisecond}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Errorf("slept %v, want %v", *slept, want)
+	}
+}
+
+func TestAPIErrorCarriesBackpressureFields(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"queue full","code":"queue_full","queue_depth":7,"retry_after_ms":1500}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(0, time.Millisecond))
+	recordSleeps(c)
+	_, err := c.Submit(context.Background(), JobRequest{QASM: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %T %v, want *APIError", err, err)
+	}
+	if apiErr.RetryAfter != 1500*time.Millisecond || apiErr.QueueDepth != 7 {
+		t.Errorf("RetryAfter %v QueueDepth %d, want 1.5s / 7", apiErr.RetryAfter, apiErr.QueueDepth)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Error("queue_full code does not unwrap to ErrQueueFull")
+	}
+}
+
+func TestAPIErrorRetryAfterHeaderFallback(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining","code":"shutdown"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(0, time.Millisecond))
+	_, err := c.Submit(context.Background(), JobRequest{QASM: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %T, want *APIError", err)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter %v, want 2s (from header)", apiErr.RetryAfter)
+	}
+}

@@ -58,6 +58,19 @@ func main() {
 	siftThreshold := flag.Int("sift-threshold", 0, "state-DD node count that triggers a sifting pass (0 = default)")
 	flag.Parse()
 
+	// `ddsim circuit.qasm` is the documented spelling; a positional
+	// argument is the QASM file (flags must come before it).
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		if *qasmPath != "" {
+			fatal(fmt.Errorf("both -qasm %s and positional %s given", *qasmPath, flag.Arg(0)))
+		}
+		*qasmPath = flag.Arg(0)
+	default:
+		fatal(fmt.Errorf("at most one positional argument (the QASM file), got %v", flag.Args()))
+	}
+
 	circ, err := loadCircuit(*qasmPath, *genSpec)
 	if err != nil {
 		fatal(err)

@@ -4,8 +4,8 @@
 //
 // Examples:
 //
-//	shorfactor -N 15
-//	shorfactor -N 33 -a 5 -ffinal 0.5 -fround 0.9
+//	shorfactor 15
+//	shorfactor -a 5 -ffinal 0.5 -fround 0.9 33    # flags before N
 //	shorfactor -N 55 -a 2 -dump       # print the circuit structure (Fig. 2)
 package main
 
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/shor"
 )
@@ -26,6 +27,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.Bool("dump", false, "print the circuit block structure and exit")
 	flag.Parse()
+
+	// `shorfactor 33` is the documented spelling; a positional argument is
+	// the number to factor (and overrides -N rather than being dropped).
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		v, err := strconv.ParseUint(flag.Arg(0), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("N must be an integer, got %q", flag.Arg(0)))
+		}
+		*n = v
+	default:
+		fatal(fmt.Errorf("at most one positional argument (the number to factor), got %v", flag.Args()))
+	}
 
 	if *dump {
 		base := *a

@@ -105,10 +105,9 @@ type compiled struct {
 	stratParams json.RawMessage
 }
 
-// compile validates the request against the server limits and resolves the
-// circuit, strategy parameters, content hash, and seed.
-func (s *Server) compile(req JobRequest) (*compiled, error) {
-	var circ *circuit.Circuit
+// resolveCircuit builds the submission's circuit IR from whichever of the
+// two circuit encodings (QASM, inline gates) the request carries.
+func resolveCircuit(req JobRequest) (*circuit.Circuit, error) {
 	switch {
 	case req.QASM != "" && len(req.Gates) > 0:
 		return nil, fmt.Errorf("submission carries both qasm and inline gates; pick one")
@@ -117,14 +116,34 @@ func (s *Server) compile(req JobRequest) (*compiled, error) {
 		if err != nil {
 			return nil, fmt.Errorf("qasm: %w", err)
 		}
-		circ = prog.Circuit
+		return prog.Circuit, nil
 	case len(req.Gates) > 0:
-		var err error
-		if circ, err = buildInline(req); err != nil {
-			return nil, err
-		}
+		return buildInline(req)
 	default:
 		return nil, fmt.Errorf("submission carries no circuit (set qasm or qubits+gates)")
+	}
+}
+
+// CanonicalHash resolves a submission's content address: the hex sha256 over
+// the canonical circuit encoding and every result-relevant option — the same
+// key the in-server result cache stores under. It applies no server limits,
+// so routing tiers (the cluster router, hash-affine clients) can compute the
+// key for any well-formed submission without owning a Server; a request this
+// function rejects would be rejected by every backend too.
+func CanonicalHash(req JobRequest) (string, error) {
+	circ, err := resolveCircuit(req)
+	if err != nil {
+		return "", err
+	}
+	return contentHash(circ, normalizeForHash(req)), nil
+}
+
+// compile validates the request against the server limits and resolves the
+// circuit, strategy parameters, content hash, and seed.
+func (s *Server) compile(req JobRequest) (*compiled, error) {
+	circ, err := resolveCircuit(req)
+	if err != nil {
+		return nil, err
 	}
 	if max := s.cfg.MaxQubits; max > 0 && circ.NumQubits > max {
 		return nil, fmt.Errorf("circuit has %d qubits, above the server limit of %d", circ.NumQubits, max)

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -386,21 +388,46 @@ func TestQueueFullReturns503(t *testing.T) {
 	c.submit(q, http.StatusAccepted)
 	over := slow
 	over.Seed = 3
-	code, body := c.do("POST", "/v1/jobs", over)
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("overflow submit: HTTP %d: %s", code, body)
+	raw, err := json.Marshal(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: HTTP %d: %s", resp.StatusCode, body)
 	}
 	if !strings.Contains(string(body), "queue full") {
 		t.Errorf("overflow body: %s", body)
 	}
+	// The rejection is retriable: a Retry-After header (whole seconds) plus
+	// the precise backoff and current backlog in the envelope, so routers
+	// and clients can back off proportionally.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After header %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
 	// The envelope carries a machine-readable code alongside the message so
 	// clients can map the failure back to a typed sentinel.
-	var env map[string]string
+	var env struct {
+		Code         string `json:"code"`
+		QueueDepth   int    `json:"queue_depth"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
 	if err := json.Unmarshal(body, &env); err != nil {
 		t.Fatalf("overflow body not JSON: %s", body)
 	}
-	if env["code"] != CodeQueueFull {
-		t.Errorf("overflow code %q, want %q", env["code"], CodeQueueFull)
+	if env.Code != CodeQueueFull {
+		t.Errorf("overflow code %q, want %q", env.Code, CodeQueueFull)
+	}
+	if env.QueueDepth != 1 {
+		t.Errorf("queue_depth %d, want 1 (the one queued job)", env.QueueDepth)
+	}
+	if env.RetryAfterMS < 100 {
+		t.Errorf("retry_after_ms %d, want >= the 100ms floor", env.RetryAfterMS)
 	}
 }
 

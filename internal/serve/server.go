@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -370,8 +371,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	handle, err := s.pool.Submit(job)
 	if err != nil {
-		status := http.StatusServiceUnavailable
-		writeError(w, status, err)
+		if errors.Is(err, batch.ErrQueueFull) {
+			s.writeBackpressure(w, err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	js.handle = handle
@@ -660,6 +664,60 @@ func Serve(ctx context.Context, addr string, cfg Config, grace time.Duration) er
 	return nil
 }
 
+// writeBackpressure renders a queue-full rejection as a *retriable* 503: a
+// Retry-After header (whole seconds, the HTTP-standard knob) plus
+// retry_after_ms and queue_depth envelope fields carrying the precise
+// estimate, so routers and clients can back off proportionally to the
+// backlog instead of hammering a saturated backend.
+func (s *Server) writeBackpressure(w http.ResponseWriter, err error) {
+	st := s.pool.State()
+	retry := retryAfterEstimate(st)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+	writeErrorEnvelope(w, http.StatusServiceUnavailable, err, map[string]any{
+		"queue_depth":    st.Queued,
+		"retry_after_ms": retry.Milliseconds(),
+	})
+}
+
+// retryAfterEstimate projects how long the backlog should take to drain: a
+// retried submission has about (queued/workers + 1) service times ahead of
+// it, each costing the pool's lifetime average busy time per finished job.
+// Clamped to [100ms, 30s]; with no service history the floor applies.
+func retryAfterEstimate(st batch.PoolState) time.Duration {
+	var busy time.Duration
+	jobs := 0
+	for _, w := range st.PerWorker {
+		busy += w.Busy
+		jobs += w.Jobs
+	}
+	avg := time.Duration(0)
+	if jobs > 0 {
+		avg = busy / time.Duration(jobs)
+	}
+	workers := st.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	d := avg * time.Duration(st.Queued/workers+1)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// retryAfterSeconds rounds a backoff up to whole seconds for the Retry-After
+// header (minimum 1: zero means "now", which defeats the point).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -668,9 +726,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	body := map[string]string{"error": err.Error()}
+	writeErrorEnvelope(w, code, err, nil)
+}
+
+// writeErrorEnvelope renders the error envelope ({"error": ..., "code": ...})
+// plus any extra machine-readable fields (queue_depth, retry_after_ms).
+func writeErrorEnvelope(w http.ResponseWriter, code int, err error, extra map[string]any) {
+	body := map[string]any{"error": err.Error()}
 	if c := errorCode(err); c != "" {
 		body["code"] = c
+	}
+	for k, v := range extra {
+		body[k] = v
 	}
 	writeJSON(w, code, body)
 }

@@ -24,7 +24,16 @@
 //     allocate at least -min-alloc-factor times fewer allocs/op and B/op
 //     than the fresh-manager workers4 configuration, or
 //   - the ordering win disappeared: BenchmarkSessionOrdering/scored must
-//     keep its peak_nodes metric below BenchmarkSessionOrdering/identity.
+//     keep its peak_nodes metric below BenchmarkSessionOrdering/identity, or
+//   - with -cluster set, the cluster routing gate fails: hash-affinity
+//     routing must beat round-robin on cluster cache hit rate, and the
+//     hash-routed p99 latency in BENCH_cluster.json must stay within
+//     -cluster-threshold of the committed bench_cluster_baseline.json after
+//     calibration adjustment (see internal/loadgen and cmd/loadgen).
+//
+// The summary also records scaling_gate ("ran" or "skipped_num_cpu") so the
+// artifact is explicit about whether the parallel-scaling gate could run on
+// the producing machine.
 //
 // New benchmarks absent from the baseline pass with a note; refresh the
 // committed baseline with `make bench-baseline`.
@@ -41,7 +50,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
+
+	"repro/internal/loadgen"
 )
 
 // Schema is the summary format identifier.
@@ -60,8 +70,13 @@ type Summary struct {
 	// summary. The parallel-scaling gate self-skips when the current
 	// summary was measured on fewer than 4 CPUs — there is no speedup to
 	// measure there.
-	NumCPU     int                  `json:"num_cpu"`
-	Benchmarks map[string]Benchmark `json:"benchmarks"`
+	NumCPU int `json:"num_cpu"`
+	// ScalingGate records whether this machine can run the parallel-scaling
+	// gate at all: "ran" on 4+ CPU machines, "skipped_num_cpu" otherwise —
+	// so a summary artifact is self-describing about which gates its green
+	// status actually covers.
+	ScalingGate string               `json:"scaling_gate"`
+	Benchmarks  map[string]Benchmark `json:"benchmarks"`
 }
 
 // Benchmark is one parsed benchmark result.
@@ -92,12 +107,21 @@ func main() {
 	match := flag.String("match", `Gate|Session|BatchRun/workers1$`, "regexp selecting the gated benchmarks")
 	minScaling := flag.Float64("min-scaling", 2.5, "required BatchRun workers1/workers4 ns/op speedup; skipped below 4 CPUs (0 disables)")
 	minAllocFactor := flag.Float64("min-alloc-factor", 5, "required allocs/op and B/op reduction of BatchRun/workers4_arena vs workers4 (0 disables)")
+	clusterPath := flag.String("cluster", "", "BENCH_cluster.json from cmd/loadgen to gate (check mode; empty skips the cluster gate)")
+	clusterBaseline := flag.String("cluster-baseline", "bench_cluster_baseline.json", "committed cluster latency baseline (check mode)")
+	clusterThreshold := flag.Float64("cluster-threshold", 0.25, "relative calibration-adjusted p99 regression that fails the cluster gate")
 	flag.Parse()
 
 	if *check {
 		if err := runCheck(*baseline, *summaryPath, *threshold, *minNs, *match, *minScaling, *minAllocFactor); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
 			os.Exit(1)
+		}
+		if *clusterPath != "" {
+			if err := runClusterCheck(*clusterBaseline, *clusterPath, *clusterThreshold); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -115,8 +139,13 @@ func runSummarize(in, out string) error {
 	if len(sum.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark results found in %s", in)
 	}
-	sum.CalibrationNs = calibrate()
+	sum.CalibrationNs = loadgen.Calibrate()
 	sum.NumCPU = runtime.NumCPU()
+	if sum.NumCPU >= 4 {
+		sum.ScalingGate = "ran"
+	} else {
+		sum.ScalingGate = "skipped_num_cpu"
+	}
 	raw, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		return err
@@ -188,35 +217,6 @@ func parseStream(path string) (*Summary, error) {
 	return sum, nil
 }
 
-// calibSink keeps the calibration loop's result observable so the compiler
-// cannot elide it.
-var calibSink uint64
-
-// calibrate times a fixed SplitMix64 chain (single-threaded, cache-resident,
-// allocation-free) and returns the fastest of several runs in nanoseconds —
-// a pure CPU-speed probe under the same machine conditions as the
-// benchmarks it accompanies.
-func calibrate() float64 {
-	best := 0.0
-	for run := 0; run < 5; run++ {
-		x := uint64(0x9E3779B97F4A7C15)
-		start := time.Now()
-		for i := 0; i < 50_000_000; i++ {
-			x ^= x >> 30
-			x *= 0xBF58476D1CE4E5B9
-			x ^= x >> 27
-			x *= 0x94D049BB133111EB
-			x ^= x >> 31
-		}
-		elapsed := float64(time.Since(start).Nanoseconds())
-		calibSink += x
-		if best == 0 || elapsed < best {
-			best = elapsed
-		}
-	}
-	return best
-}
-
 // procSuffix strips the trailing GOMAXPROCS suffix from a benchmark name
 // ("BenchmarkFoo/sub-8" → "BenchmarkFoo/sub").
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -269,6 +269,77 @@ func parseResultLine(line string) (string, Benchmark, bool) {
 		return "", Benchmark{}, false
 	}
 	return procSuffix.ReplaceAllString(fields[0], ""), b, true
+}
+
+// loadClusterReport reads a bench-cluster/v1 document (BENCH_cluster.json
+// from cmd/loadgen, or the committed baseline).
+func loadClusterReport(path string) (*loadgen.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r loadgen.Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != loadgen.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, loadgen.Schema)
+	}
+	return &r, nil
+}
+
+// runClusterCheck is the cluster routing gate: content-hash affinity must
+// keep beating round-robin on cluster-wide cache hit rate (the point of the
+// router), and hash-routed p99 latency must stay within the
+// calibration-adjusted envelope of the committed baseline.
+func runClusterCheck(baselinePath, reportPath string, threshold float64) error {
+	base, err := loadClusterReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadClusterReport(reportPath)
+	if err != nil {
+		return err
+	}
+
+	speed := 1.0
+	if base.CalibrationNs > 0 && cur.CalibrationNs > 0 {
+		speed = cur.CalibrationNs / base.CalibrationNs
+		if speed < 0.25 {
+			speed = 0.25
+		}
+		if speed > 4 {
+			speed = 4
+		}
+	}
+
+	var failures []string
+	a := cur.Aggregate
+	if a.HashHitRate <= a.RRHitRate {
+		failures = append(failures, fmt.Sprintf(
+			"cluster: hash-affinity cache hit rate %.1f%% does not beat round-robin %.1f%%",
+			100*a.HashHitRate, 100*a.RRHitRate))
+	}
+	if a.HashP99MS <= 0 {
+		failures = append(failures, "cluster: hash p99 missing from report aggregate")
+	} else if allowed := base.Aggregate.HashP99MS * speed * (1 + threshold); a.HashP99MS > allowed {
+		failures = append(failures, fmt.Sprintf(
+			"cluster: hash p99 regressed %.1fms -> %.1fms (speed-adjusted gate is %.1fms, +%.0f%%)",
+			base.Aggregate.HashP99MS*speed, a.HashP99MS, allowed, 100*threshold))
+	}
+	for _, run := range cur.Runs {
+		if run.Sent > 0 && run.Completed == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"cluster: %s q=%d %s phase completed 0 of %d submissions",
+				run.Route, run.Qubits, run.Strategy, run.Sent))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("cluster gate failed (machine speed ratio %.2f):\n  %s", speed, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchsummary: cluster gate OK (hash hit %.0f%% > rr %.0f%%, hash p99 %.1fms within %.1fms, speed ratio %.2f)\n",
+		100*a.HashHitRate, 100*a.RRHitRate, a.HashP99MS, base.Aggregate.HashP99MS*speed*(1+threshold), speed)
+	return nil
 }
 
 func loadSummary(path string) (*Summary, error) {
