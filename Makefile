@@ -20,7 +20,11 @@ BENCH_CHECK_MIN_ALLOC_FACTOR ?= 5
 # beat round-robin — has no knob; it is the point of the router).
 BENCH_CLUSTER_THRESHOLD ?= 0.25
 
-.PHONY: all build test race bench bench-smoke bench-check bench-baseline bench-cluster bench-cluster-baseline examples fmt fmt-check vet doc-lint simd-smoke cluster-smoke ci
+# Coverage gate: the combined internal/core + internal/dd statement coverage
+# measured when the gate landed (PR 8); cover-check fails below this floor.
+COVER_FLOOR ?= 85.0
+
+.PHONY: all build test race bench bench-smoke bench-check bench-baseline bench-cluster bench-cluster-baseline examples fmt fmt-check vet doc-lint simd-smoke cluster-smoke fuzz-smoke cover-check ci
 
 all: build
 
@@ -49,6 +53,8 @@ bench-smoke:
 		./internal/dd ./internal/sim > BENCH_dd.json
 	$(GO) test -run '^$$' -bench 'Batch' -benchtime 1x -count 3 -benchmem -json \
 		./internal/batch >> BENCH_dd.json
+	$(GO) test -run '^$$' -bench 'Frontier' -benchtime 1x -count 3 -benchmem -json \
+		./internal/benchtab >> BENCH_dd.json
 	$(GO) run ./scripts/benchsummary -in BENCH_dd.json -out BENCH_summary.json
 
 ## bench-cluster: run the cluster latency harness (cmd/loadgen boots a local
@@ -62,7 +68,8 @@ bench-cluster:
 ## BENCH_CHECK_THRESHOLD against the committed bench_baseline.json, when
 ## BatchRun stops scaling (workers4 vs workers1, 4+ CPU runners only) or the
 ## arena configuration stops cutting allocations, when the ordering
-## benchmark stops showing scored < identity peak nodes, when hash-affinity
+## benchmark stops showing scored < identity peak nodes, when the replace
+## pass stops dominating delete on the pairs frontier, when hash-affinity
 ## routing stops beating round-robin on cluster cache hit rate, or when the
 ## hash-routed p99 regresses more than BENCH_CLUSTER_THRESHOLD against
 ## bench_cluster_baseline.json (calibration-adjusted). Runs bench-smoke and
@@ -126,6 +133,21 @@ doc-lint:
 	if [ "$$fail" -ne 0 ]; then exit 1; fi; \
 	echo "doc-lint: all packages and commands documented"
 
+## fuzz-smoke: run each native fuzz target briefly (~10s each) so CI keeps
+## exercising the mutation engines, not just the committed corpus
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzApproximate$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzQASMParse$$' -fuzztime 10s ./internal/qasm
+
+## cover-check: measure combined internal/core + internal/dd statement
+## coverage into coverage.out and fail below the committed COVER_FLOOR
+cover-check:
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/dd
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "cover-check: core+dd coverage %.1f%% below floor %.1f%%\n", t, floor; exit 1 } \
+		printf "cover-check: core+dd coverage %.1f%% (floor %.1f%%)\n", t, floor }'
+
 ## simd-smoke: build the simulation service, boot it, and run a QASM job
 ## end-to-end including a cache-hit resubmission (the CI gate)
 simd-smoke:
@@ -138,4 +160,4 @@ cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
 ## ci: everything the pipeline runs, in order
-ci: fmt-check vet doc-lint build examples race simd-smoke cluster-smoke
+ci: fmt-check vet doc-lint build examples race fuzz-smoke cover-check simd-smoke cluster-smoke

@@ -63,6 +63,13 @@ type (
 	MemoryDriven = core.MemoryDriven
 	// FidelityDriven is the proactive strategy of Section IV-C.
 	FidelityDriven = core.FidelityDriven
+	// ReplaceDriven is the node-replacement strategy (arXiv 2507.04335):
+	// low-contribution nodes are swapped for cheaper substitutes —
+	// SubstituteKind values "collapse" and "promote" — instead of zeroed,
+	// holding fidelity higher at the same node budget.
+	ReplaceDriven = core.ReplaceDriven
+	// SubstituteKind names one replacement shape of ReplaceDriven.
+	SubstituteKind = core.SubstituteKind
 	// Exact disables approximation.
 	Exact = core.Exact
 	// Report describes one approximation round.

@@ -525,3 +525,44 @@ type printRounds struct{ repro.NopObserver }
 func (printRounds) OnApproximation(r repro.Round) {
 	fmt.Printf("round at gate %d\n", r.GateIndex)
 }
+
+func TestFacadeReplaceStrategy(t *testing.T) {
+	// In-process use of the node-replacement strategy, both as a typed
+	// value and by registry name with JSON params, composed under reorder.
+	c := repro.RandomCliffordTCircuit(8, 120, 4)
+	cmp, err := repro.RunAndCompare(c, repro.Options{
+		Strategy: &repro.ReplaceDriven{NodeBudget: 16, FidelityFloor: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TrueFidelity < cmp.Approx.FidelityBound-1e-6 {
+		t.Errorf("true fidelity %v below bound %v", cmp.TrueFidelity, cmp.Approx.FidelityBound)
+	}
+	// The floor guarantees the product of achieved round fidelities (the
+	// tracked estimate); the pessimistic per-round bound may dip below it.
+	if cmp.Approx.EstimatedFidelity < 0.6-1e-9 {
+		t.Errorf("estimated fidelity %v below the requested floor", cmp.Approx.EstimatedFidelity)
+	}
+	replaced := 0
+	for _, r := range cmp.Approx.Rounds {
+		replaced += r.Report.ReplacedNodes
+	}
+	if replaced == 0 {
+		t.Error("no nodes replaced at budget 16")
+	}
+
+	byName, err := repro.NewStrategyByName("replace",
+		json.RawMessage(`{"node_budget":16,"kinds":["collapse"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Run(c, repro.WithStrategy(
+		repro.NewReorder(repro.ReorderPolicy{Static: "scored"}, byName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StrategyName != "reorder(scored)+replace" {
+		t.Errorf("strategy name = %q", res.StrategyName)
+	}
+}

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestReplaceStrategyTypedClient drives strategy=replace end to end through
+// the typed client: submit, wait, and read the typed result including the
+// replaced_nodes round field, then stream the SSE events and expect an
+// approximation event carrying replacements.
+func TestReplaceStrategyTypedClient(t *testing.T) {
+	cl := newService(t, serve.Config{Workers: 1})
+	ctx := t.Context()
+
+	req := JobRequest{Name: "pairs-replace", Qubits: 12, Strategy: "replace",
+		StrategyParams: json.RawMessage(`{"node_budget":24,"fidelity_floor":0.5,"kinds":["collapse","promote"]}`)}
+	for i := 0; i < 6; i++ {
+		req.Gates = append(req.Gates,
+			GateSpec{Name: "h", Target: i},
+			GateSpec{Name: "x", Target: i + 6, Controls: []int{i}})
+	}
+
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("job ended %q: %s", final.Status, final.Error)
+	}
+	res, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "replace" {
+		t.Fatalf("strategy = %q", res.Strategy)
+	}
+	replaced := 0
+	for _, r := range res.Rounds {
+		replaced += r.ReplacedNodes
+	}
+	if replaced == 0 {
+		t.Fatalf("typed result carries no replaced nodes: %+v", res.Rounds)
+	}
+	if res.EstimatedFidelity < 0.5-1e-9 {
+		t.Fatalf("estimated fidelity %v below the requested floor", res.EstimatedFidelity)
+	}
+
+	sawReplace := false
+	if _, err := cl.Stream(ctx, st.ID, func(ev Event) error {
+		if ev.Type == EventApproximation && ev.Round != nil && ev.Round.ReplacedNodes > 0 {
+			sawReplace = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawReplace {
+		t.Fatal("no SSE approximation event with replaced nodes reached the typed client")
+	}
+}

@@ -55,6 +55,7 @@ func main() {
 	report("E8 — memory-driven threshold sweep", func() error { return thresholdSweep(runOpts) })
 	report("E10 — variable-ordering sweep (nodes saved per ordering)", func() error { return orderingSweep(runOpts) })
 	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(runOpts) })
+	report("E11 — delete-vs-replace fidelity/size frontier", func() error { return replaceFrontier(runOpts) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
 	if *verbose {
@@ -169,6 +170,20 @@ func roundTradeoff(opts benchtab.SweepOptions) error {
 		return err
 	}
 	fmt.Print(benchtab.FormatSweepMarkdown(points))
+	return nil
+}
+
+func replaceFrontier(opts benchtab.SweepOptions) error {
+	circs, err := benchtab.FrontierCircuits()
+	if err != nil {
+		return err
+	}
+	points, err := benchtab.SweepFrontier(context.Background(), circs,
+		[]int{16, 24, 32, 48, 64}, nil, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatFrontierMarkdown(points))
 	return nil
 }
 

@@ -18,6 +18,9 @@ import (
 type OrderPoint struct {
 	Circuit string
 	Order   string
+	// Params is the full reorder-strategy configuration behind this row
+	// (ordering plus sift mode), so ordering tables are self-describing.
+	Params  string
 	MaxDD   int
 	FinalDD int
 	Runtime time.Duration
@@ -72,6 +75,7 @@ func SweepOrderings(ctx context.Context, circs []*circuit.Circuit, orders []stri
 		out = append(out, OrderPoint{
 			Circuit:       circs[ci].Name,
 			Order:         names[oi],
+			Params:        fmt.Sprintf("reorder order=%s sift=%t", names[oi], sift && names[oi] != order.Identity),
 			MaxDD:         res.MaxDDSize,
 			FinalDD:       res.FinalDDSize,
 			Runtime:       res.Runtime,
@@ -86,11 +90,11 @@ func SweepOrderings(ctx context.Context, circs []*circuit.Circuit, orders []stri
 // FormatOrderMarkdown renders an ordering sweep as a markdown table.
 func FormatOrderMarkdown(points []OrderPoint) string {
 	var b strings.Builder
-	b.WriteString("| Circuit | Order | Max DD | Final DD | Saved | Sifts | Runtime |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| Circuit | Order | Params | Max DD | Final DD | Saved | Sifts | Runtime |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %s |\n",
-			p.Circuit, p.Order, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, fmtDur(p.Runtime))
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d | %d | %s |\n",
+			p.Circuit, p.Order, p.Params, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, fmtDur(p.Runtime))
 	}
 	return b.String()
 }
@@ -98,10 +102,10 @@ func FormatOrderMarkdown(points []OrderPoint) string {
 // FormatOrderCSV renders an ordering sweep as CSV.
 func FormatOrderCSV(points []OrderPoint) string {
 	var b strings.Builder
-	b.WriteString("circuit,order,max_dd,final_dd,nodes_saved,sift_passes,seconds\n")
+	b.WriteString("circuit,order,params,max_dd,final_dd,nodes_saved,sift_passes,seconds\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%.6f\n",
-			p.Circuit, p.Order, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, p.Runtime.Seconds())
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%.6f\n",
+			p.Circuit, p.Order, p.Params, p.MaxDD, p.FinalDD, p.NodesSaved, p.SiftPasses, p.Runtime.Seconds())
 	}
 	return b.String()
 }

@@ -15,7 +15,11 @@ import (
 // SweepPoint is one configuration of a hyper-parameter sweep (the series
 // behind the paper's hyper-parameter discussion; E8/E9 in DESIGN.md).
 type SweepPoint struct {
-	Label     string // swept value, e.g. "threshold=1024" or "fround=0.9"
+	Label string // swept value, e.g. "threshold=1024" or "fround=0.9"
+	// Params is the full strategy configuration behind this row (strategy
+	// name plus every parameter, not just the swept one), so sweep tables
+	// are self-describing.
+	Params    string
 	Rounds    int
 	MaxDD     int
 	Runtime   time.Duration
@@ -42,6 +46,7 @@ func SweepThreshold(c *circuit.Circuit, thresholds []int, fround, growth float64
 func SweepThresholdBatch(ctx context.Context, c *circuit.Circuit, thresholds []int, fround, growth float64, opts SweepOptions) ([]SweepPoint, error) {
 	jobs := make([]batch.Job, 0, len(thresholds)+1)
 	jobs = append(jobs, batch.Job{Name: "exact", Circuit: c})
+	params := make([]string, 0, len(thresholds))
 	for _, th := range thresholds {
 		jobs = append(jobs, batch.Job{
 			Name:    fmt.Sprintf("threshold=%d", th),
@@ -50,8 +55,9 @@ func SweepThresholdBatch(ctx context.Context, c *circuit.Circuit, thresholds []i
 				return &core.MemoryDriven{Threshold: th, RoundFidelity: fround, Growth: growth}
 			},
 		})
+		params = append(params, fmt.Sprintf("memory threshold=%d fround=%g growth=%g", th, fround, growth))
 	}
-	return runSweep(ctx, jobs, opts)
+	return runSweep(ctx, jobs, params, opts)
 }
 
 // SweepRoundFidelity runs the fidelity-driven strategy on a Shor instance
@@ -67,6 +73,7 @@ func SweepRoundFidelityBatch(ctx context.Context, inst *shor.Instance, frounds [
 	locations := inst.IQFTBoundaries(c) // shared read-only across jobs
 	jobs := make([]batch.Job, 0, len(frounds)+1)
 	jobs = append(jobs, batch.Job{Name: "exact", Circuit: c})
+	params := make([]string, 0, len(frounds))
 	for _, fr := range frounds {
 		jobs = append(jobs, batch.Job{
 			Name:    fmt.Sprintf("fround=%g", fr),
@@ -77,13 +84,15 @@ func SweepRoundFidelityBatch(ctx context.Context, inst *shor.Instance, frounds [
 				return strat
 			},
 		})
+		params = append(params, fmt.Sprintf("fidelity fround=%g ffinal=%g locations=%d", fr, ffinal, len(locations)))
 	}
-	return runSweep(ctx, jobs, opts)
+	return runSweep(ctx, jobs, params, opts)
 }
 
 // runSweep executes jobs[0] as the exact reference plus one job per swept
-// configuration and assembles the points in job order.
-func runSweep(ctx context.Context, jobs []batch.Job, opts SweepOptions) ([]SweepPoint, error) {
+// configuration and assembles the points in job order; params[i] is the
+// self-describing strategy configuration of jobs[i+1].
+func runSweep(ctx context.Context, jobs []batch.Job, params []string, opts SweepOptions) ([]SweepPoint, error) {
 	bres, err := batch.Run(ctx, jobs, opts.batchOptions())
 	if err != nil {
 		return nil, err
@@ -93,13 +102,14 @@ func runSweep(ctx context.Context, jobs []batch.Job, opts SweepOptions) ([]Sweep
 		return nil, exact.Err
 	}
 	out := make([]SweepPoint, 0, len(bres.Jobs)-1)
-	for _, jr := range bres.Jobs[1:] {
+	for i, jr := range bres.Jobs[1:] {
 		if jr.Err != nil {
 			return nil, fmt.Errorf("benchtab: %s: %w", jr.Name, jr.Err)
 		}
 		res := jr.Result
 		out = append(out, SweepPoint{
 			Label:     jr.Name,
+			Params:    params[i],
 			Rounds:    len(res.Rounds),
 			MaxDD:     res.MaxDDSize,
 			Runtime:   res.Runtime,
@@ -115,11 +125,11 @@ func runSweep(ctx context.Context, jobs []batch.Job, opts SweepOptions) ([]Sweep
 // FormatSweepMarkdown renders sweep points as a markdown table.
 func FormatSweepMarkdown(points []SweepPoint) string {
 	var b strings.Builder
-	b.WriteString("| Config | Rounds | Max DD | Runtime | f_final | Bound | Exact Max DD | Exact Time |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| Config | Params | Rounds | Max DD | Runtime | f_final | Bound | Exact Max DD | Exact Time |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "| %s | %d | %d | %s | %.3f | %.3f | %d | %s |\n",
-			p.Label, p.Rounds, p.MaxDD, fmtDur(p.Runtime), p.FinalFid, p.FidBound,
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %s | %.3f | %.3f | %d | %s |\n",
+			p.Label, p.Params, p.Rounds, p.MaxDD, fmtDur(p.Runtime), p.FinalFid, p.FidBound,
 			p.ExactMax, fmtDur(p.ExactTime))
 	}
 	return b.String()
@@ -128,10 +138,10 @@ func FormatSweepMarkdown(points []SweepPoint) string {
 // FormatSweepCSV renders sweep points as CSV.
 func FormatSweepCSV(points []SweepPoint) string {
 	var b strings.Builder
-	b.WriteString("config,rounds,max_dd,seconds,f_final,fid_bound,exact_max_dd,exact_seconds\n")
+	b.WriteString("config,params,rounds,max_dd,seconds,f_final,fid_bound,exact_max_dd,exact_seconds\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.6f,%d,%.6f\n",
-			p.Label, p.Rounds, p.MaxDD, p.Runtime.Seconds(), p.FinalFid, p.FidBound,
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%.6f,%.6f,%.6f,%d,%.6f\n",
+			p.Label, p.Params, p.Rounds, p.MaxDD, p.Runtime.Seconds(), p.FinalFid, p.FidBound,
 			p.ExactMax, p.ExactTime.Seconds())
 	}
 	return b.String()

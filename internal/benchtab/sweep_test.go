@@ -65,15 +65,16 @@ func TestSweepRoundFidelity(t *testing.T) {
 
 func TestSweepFormatters(t *testing.T) {
 	points := []SweepPoint{{
-		Label: "threshold=64", Rounds: 3, MaxDD: 100, FinalFid: 0.9,
+		Label: "threshold=64", Params: "memory threshold=64 fround=0.975 growth=1.05",
+		Rounds: 3, MaxDD: 100, FinalFid: 0.9,
 		FidBound: 0.88, ExactMax: 200,
 	}}
 	md := FormatSweepMarkdown(points)
-	if !strings.Contains(md, "threshold=64") || !strings.Contains(md, "| 3 |") {
+	if !strings.Contains(md, "| Params |") || !strings.Contains(md, "threshold=64") || !strings.Contains(md, "| 3 |") {
 		t.Errorf("markdown:\n%s", md)
 	}
 	csv := FormatSweepCSV(points)
-	if !strings.Contains(csv, "threshold=64,3,100") {
+	if !strings.Contains(csv, "threshold=64,memory threshold=64 fround=0.975 growth=1.05,3,100") {
 		t.Errorf("csv:\n%s", csv)
 	}
 }

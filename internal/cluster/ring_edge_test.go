@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingSingleBackend: a one-backend ring owns the whole circle — every
+// key, including the extremes, maps to it and the failover order is just it.
+func TestRingSingleBackend(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []uint64{0, 1, 1 << 32, ^uint64(0), r.points[0].hash, r.points[len(r.points)-1].hash + 1} {
+		if got := r.Primary(key); got != 0 {
+			t.Fatalf("Primary(%#x) = %d on a single-backend ring", key, got)
+		}
+		if order := r.Order(key); len(order) != 1 || order[0] != 0 {
+			t.Fatalf("Order(%#x) = %v on a single-backend ring", key, order)
+		}
+	}
+}
+
+// TestRingBoundaryAndCollidingKeys pins the ownership rule at exact ring
+// points: a key equal to a point's hash is served by that point (sort.Search
+// uses >=), a key one past the last point wraps to the first, and repeated
+// lookups of the same colliding key are stable.
+func TestRingBoundaryAndCollidingKeys(t *testing.T) {
+	r, err := NewRing([]string{"b0", "b1", "b2"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range r.points {
+		if got := r.Primary(p.hash); got != p.idx {
+			t.Fatalf("key at point %d (%#x): Primary = %d, want owner %d", i, p.hash, got, p.idx)
+		}
+	}
+	last := r.points[len(r.points)-1]
+	if last.hash != ^uint64(0) {
+		if got, want := r.Primary(last.hash+1), r.points[0].idx; got != want {
+			t.Fatalf("key past the last point wraps to %d, want %d", got, want)
+		}
+	}
+	// A key between two points belongs to the clockwise (next) point.
+	if len(r.points) >= 2 {
+		a, b := r.points[0], r.points[1]
+		if b.hash-a.hash > 1 {
+			if got := r.Primary(a.hash + 1); got != b.idx {
+				t.Fatalf("key between points: Primary = %d, want %d", got, b.idx)
+			}
+		}
+	}
+	// Colliding keys (same key, repeated) must be deterministic.
+	key := r.points[7].hash
+	want := r.Primary(key)
+	for i := 0; i < 100; i++ {
+		if got := r.Primary(key); got != want {
+			t.Fatalf("Primary(%#x) flapped %d -> %d without membership change", key, want, got)
+		}
+	}
+}
+
+// TestRingOrderUniqueSingleVnode: with one point per backend (the worst case
+// for the dedup walk — the failover scan must traverse the whole circle) the
+// order is still a permutation of all backends for every key.
+func TestRingOrderUniqueSingleVnode(t *testing.T) {
+	names := make([]string, 9)
+	for i := range names {
+		names[i] = fmt.Sprintf("host-%d", i)
+	}
+	r, err := NewRing(names, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{0, ^uint64(0)}
+	for _, p := range r.points {
+		keys = append(keys, p.hash, p.hash+1)
+	}
+	for _, key := range keys {
+		order := r.Order(key)
+		if len(order) != len(names) {
+			t.Fatalf("Order(%#x) has %d entries, want %d", key, len(order), len(names))
+		}
+		seen := make([]bool, len(names))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(names) || seen[idx] {
+				t.Fatalf("Order(%#x) = %v repeats or escapes range", key, order)
+			}
+			seen[idx] = true
+		}
+		if order[0] != r.Primary(key) {
+			t.Fatalf("Order(%#x)[0] = %d, Primary = %d", key, order[0], r.Primary(key))
+		}
+	}
+}
+
+// TestMemberFlapConcurrent hammers one member with concurrent up/down
+// observations and health snapshots (the race-detector target), then checks
+// the hysteresis invariants sequentially: markDownAfter consecutive failures
+// take it down exactly once, markUpAfter consecutive successes bring it
+// back, and a lone blip in either direction does nothing.
+func TestMemberFlapConcurrent(t *testing.T) {
+	const markDownAfter, markUpAfter = 3, 2
+	m := &member{name: "b0", url: "http://b0"}
+	m.up.Store(true)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.observe((i+g)%2 == 0, "probe failed", markDownAfter, markUpAfter)
+				if i%10 == 0 {
+					m.health()
+					m.up.Load()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic hysteresis from a known state: force up.
+	for i := 0; i < markUpAfter; i++ {
+		m.observe(true, "", markDownAfter, markUpAfter)
+	}
+	if !m.up.Load() {
+		t.Fatal("member not up after markUpAfter consecutive successes")
+	}
+	_, _, _, downsBefore := m.health()
+	// One blip must not eject it.
+	m.observe(false, "blip", markDownAfter, markUpAfter)
+	if !m.up.Load() {
+		t.Fatal("single failure ejected the member despite hysteresis")
+	}
+	m.observe(true, "", markDownAfter, markUpAfter)
+	// A full run of failures takes it down exactly once.
+	for i := 0; i < markDownAfter+2; i++ {
+		m.observe(false, "down", markDownAfter, markUpAfter)
+	}
+	if m.up.Load() {
+		t.Fatal("member still up after markDownAfter consecutive failures")
+	}
+	_, lastErr, _, downsAfter := m.health()
+	if downsAfter != downsBefore+1 {
+		t.Fatalf("markDowns %d -> %d, want exactly one transition", downsBefore, downsAfter)
+	}
+	if lastErr != "down" {
+		t.Fatalf("lastErr = %q, want the failing observation's message", lastErr)
+	}
+	// One success is not enough to readmit; markUpAfter is.
+	m.observe(true, "", markDownAfter, markUpAfter)
+	if m.up.Load() {
+		t.Fatal("single success readmitted the member despite hysteresis")
+	}
+	m.observe(true, "", markDownAfter, markUpAfter)
+	if !m.up.Load() {
+		t.Fatal("member not readmitted after markUpAfter consecutive successes")
+	}
+}

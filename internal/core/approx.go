@@ -16,6 +16,9 @@ type Report struct {
 	Achieved float64
 	// RemovedNodes is the number of nodes selected for removal.
 	RemovedNodes int
+	// ReplacedNodes is the number of nodes swapped for cheaper substitutes
+	// by the replace pass (zero for delete-based rounds).
+	ReplacedNodes int
 	// RemovedMass is the sum of raw contributions of the removed nodes. It
 	// over-counts overlapping paths, so 1−Achieved ≤ RemovedMass ≤ 1−Requested.
 	RemovedMass float64
@@ -24,7 +27,7 @@ type Report struct {
 }
 
 // NoOp reports whether the round left the state untouched.
-func (r Report) NoOp() bool { return r.RemovedNodes == 0 }
+func (r Report) NoOp() bool { return r.RemovedNodes == 0 && r.ReplacedNodes == 0 }
 
 // ApproximateToFidelity removes the smallest-contribution nodes from the
 // state whose total contribution fits within the budget 1−fround, rescales

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/dd"
+)
+
+// fuzzAmps decodes fuzz bytes into a normalized amplitude vector: 16-byte
+// chunks are (re, im) float64 bit patterns, padded with zeros to the next
+// power of two (at least 4 entries, at most 256). Returns false when the
+// bytes decode to nothing usable (non-finite, overflowing, or all-zero).
+func fuzzAmps(data []byte) ([]complex128, bool) {
+	if len(data) > 256*16 {
+		data = data[:256*16]
+	}
+	var amps []complex128
+	for off := 0; off+16 <= len(data); off += 16 {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return nil, false
+		}
+		// Extreme magnitudes make the norm accumulation under/overflow
+		// (re² can hit 0 or +Inf while re/√norm stays finite), producing a
+		// non-normalized "normalized" vector — a harness artifact, not an
+		// engine input.
+		if a := math.Abs(re); a > 1e6 || (a != 0 && a < 1e-6) {
+			return nil, false
+		}
+		if a := math.Abs(im); a > 1e6 || (a != 0 && a < 1e-6) {
+			return nil, false
+		}
+		amps = append(amps, complex(re, im))
+	}
+	if len(amps) == 0 {
+		return nil, false
+	}
+	size := 4
+	for size < len(amps) {
+		size *= 2
+	}
+	vec := make([]complex128, size)
+	copy(vec, amps)
+	var norm float64
+	for _, a := range vec {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if norm == 0 || math.IsInf(norm, 0) {
+		return nil, false
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	var check float64
+	for i := range vec {
+		vec[i] *= inv
+		check += real(vec[i])*real(vec[i]) + imag(vec[i])*imag(vec[i])
+	}
+	if math.Abs(check-1) > 1e-9 {
+		return nil, false
+	}
+	return vec, true
+}
+
+func encodeAmps(vec []complex128) []byte {
+	out := make([]byte, 0, len(vec)*16)
+	for _, a := range vec {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(real(a)))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(imag(a)))
+	}
+	return out
+}
+
+// FuzzApproximate drives every approximation primitive over fuzzed states
+// and enforces the shared invariant suite (valid normalized DD, exact
+// Report accounting, never-severed state, fidelity floors). Seeded with the
+// 16-amplitude vector that exposed the level-cut backoff bug the fuzz
+// harness exists to keep fixed.
+func FuzzApproximate(f *testing.F) {
+	// The PR 6 regression vector: a kill set whose raw contribution stayed
+	// under budget but covered a whole level, zeroing the state without the
+	// backoff in removeWithBackoff.
+	regression := []complex128{0, 0, 0, 0.1841756497840385 + 0.4322476989581267i,
+		0.21068305193683035 + 0.07251403439625055i, 0, 0.4493079660395935 + 0.16302094040069626i, 0,
+		-0.15369462899885028 + 0.24842399774520801i, 0, 0, 0.3663640018625997 + 0.36608900899315083i,
+		0, -0.2545526701251826 - 0.16486589505397525i, -0.06480720039412846 - 0.2266805757239144i, 0}
+	f.Add(encodeAmps(regression))
+	f.Add(encodeAmps([]complex128{1, 0, 0, 0}))
+	f.Add(encodeAmps([]complex128{0.5, 0.5, 0.5, 0.5}))
+	f.Add(encodeAmps([]complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vec, ok := fuzzAmps(data)
+		if !ok {
+			t.Skip()
+		}
+		n := bits.TrailingZeros(uint(len(vec)))
+		m := dd.New()
+		e, err := m.FromAmplitudes(vec)
+		if err != nil {
+			t.Skip()
+		}
+		tc := approxCase{n: n, vec: vec, fround: 0.9}
+		before := dd.CountVNodes(e)
+		target := before/2 + 1
+		for _, op := range approxOps() {
+			ne, rep, err := op.run(m, e, tc, target)
+			if err != nil {
+				t.Fatalf("%s: %v", op.name, err)
+			}
+			if err := checkInvariants(m, e, ne, rep, n, op.floor(tc)); err != nil {
+				t.Fatalf("%s: %v", op.name, err)
+			}
+		}
+	})
+}

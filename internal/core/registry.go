@@ -94,6 +94,16 @@ type FidelityDrivenParams struct {
 	Locations         []int   `json:"locations,omitempty"`
 }
 
+// ReplaceDrivenParams are the JSON parameters of the builtin "replace"
+// strategy (node replacement, arXiv 2507.04335). NodeBudget is required;
+// FidelityFloor 0 means no floor; Kinds is the substitute preference order
+// ("collapse", "promote"), defaulting to both in that order.
+type ReplaceDrivenParams struct {
+	NodeBudget    int      `json:"node_budget"`
+	FidelityFloor float64  `json:"fidelity_floor,omitempty"`
+	Kinds         []string `json:"kinds,omitempty"`
+}
+
 func decodeParams(params json.RawMessage, into any) error {
 	if len(params) == 0 {
 		return nil
@@ -116,6 +126,17 @@ func init() {
 			return nil, err
 		}
 		return &MemoryDriven{Threshold: p.Threshold, RoundFidelity: p.RoundFidelity, Growth: p.Growth}, nil
+	}))
+	must(RegisterStrategy("replace", func(params json.RawMessage) (Strategy, error) {
+		var p ReplaceDrivenParams
+		if err := decodeParams(params, &p); err != nil {
+			return nil, err
+		}
+		kinds, err := ParseSubstituteKinds(p.Kinds)
+		if err != nil {
+			return nil, err
+		}
+		return &ReplaceDriven{NodeBudget: p.NodeBudget, FidelityFloor: p.FidelityFloor, Kinds: kinds}, nil
 	}))
 	must(RegisterStrategy("fidelity", func(params json.RawMessage) (Strategy, error) {
 		var p FidelityDrivenParams

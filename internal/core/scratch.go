@@ -18,6 +18,7 @@ import (
 type approxScratch struct {
 	contrib map[*dd.VNode]float64
 	kill    map[*dd.VNode]bool
+	repl    map[*dd.VNode]SubstituteKind
 	memo    map[*dd.VNode]dd.VEdge
 	seen    map[*dd.VNode]struct{}
 	nodes   []*dd.VNode
@@ -34,6 +35,7 @@ var scratchPool = sync.Pool{
 		return &approxScratch{
 			contrib: make(map[*dd.VNode]float64, 256),
 			kill:    make(map[*dd.VNode]bool, 64),
+			repl:    make(map[*dd.VNode]SubstituteKind, 64),
 			memo:    make(map[*dd.VNode]dd.VEdge, 256),
 			seen:    make(map[*dd.VNode]struct{}, 256),
 		}
@@ -46,6 +48,7 @@ func getScratch() *approxScratch { return scratchPool.Get().(*approxScratch) }
 func putScratch(s *approxScratch) {
 	clear(s.contrib)
 	clear(s.kill)
+	clear(s.repl)
 	clear(s.memo)
 	clear(s.seen)
 	s.nodes = s.nodes[:0]
@@ -58,6 +61,7 @@ func putScratch(s *approxScratch) {
 func (s *approxScratch) reuse() {
 	clear(s.contrib)
 	clear(s.kill)
+	clear(s.repl)
 	clear(s.memo)
 	clear(s.seen)
 	s.nodes = s.nodes[:0]

@@ -75,7 +75,44 @@ func Parse(src, name string) (*Program, error) {
 	return prog, nil
 }
 
+// gateSpec fixes the operand and parameter arity of every supported gate, so
+// malformed statements become parse errors instead of panics deeper in the
+// circuit builder.
+var gateSpec = map[string]struct{ qubits, params int }{
+	"x": {1, 0}, "y": {1, 0}, "z": {1, 0}, "h": {1, 0}, "s": {1, 0},
+	"sdg": {1, 0}, "t": {1, 0}, "tdg": {1, 0}, "sx": {1, 0}, "sxdg": {1, 0},
+	"id": {1, 0}, "i": {1, 0},
+	"rx": {1, 1}, "ry": {1, 1}, "rz": {1, 1}, "p": {1, 1}, "u1": {1, 1},
+	"u2": {1, 2}, "u3": {1, 3}, "u": {1, 3},
+	"cx": {2, 0}, "cy": {2, 0}, "cz": {2, 0}, "ch": {2, 0},
+	"cp": {2, 1}, "cu1": {2, 1}, "crz": {2, 1},
+	"ccx": {3, 0}, "ccz": {3, 0},
+	"swap": {2, 0}, "cswap": {3, 0},
+}
+
 func applyOp(c *circuit.Circuit, op operation) error {
+	spec, ok := gateSpec[op.name]
+	if !ok {
+		return fmt.Errorf("qasm: unsupported gate %q", op.name)
+	}
+	if len(op.qubits) != spec.qubits {
+		return fmt.Errorf("qasm: gate %q takes %d qubit operand(s), got %d", op.name, spec.qubits, len(op.qubits))
+	}
+	if len(op.params) != spec.params {
+		return fmt.Errorf("qasm: gate %q takes %d parameter(s), got %d", op.name, spec.params, len(op.params))
+	}
+	for _, v := range op.params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("qasm: gate %q has non-finite parameter", op.name)
+		}
+	}
+	for i := 0; i < len(op.qubits); i++ {
+		for j := i + 1; j < len(op.qubits); j++ {
+			if op.qubits[i] == op.qubits[j] {
+				return fmt.Errorf("qasm: gate %q repeats qubit operand q%d", op.name, op.qubits[i])
+			}
+		}
+	}
 	q := op.qubits
 	pc := func(idx int) dd.Control { return dd.PosControl(q[idx]) }
 	switch op.name {
@@ -83,8 +120,12 @@ func applyOp(c *circuit.Circuit, op operation) error {
 		c.Apply(op.name, nil, q[0])
 	case "rx", "ry", "rz", "p", "u1":
 		c.Apply(op.name, op.params, q[0])
-	case "u2", "u3", "u":
+	case "u2", "u3":
 		c.Apply(op.name, op.params, q[0])
+	case "u":
+		// Normalized to u3 so export/reparse round trips to the same
+		// canonical encoding.
+		c.Apply("u3", op.params, q[0])
 	case "cx":
 		c.Apply("x", nil, q[1], pc(0))
 	case "cy":
@@ -213,17 +254,28 @@ func (p *parser) parseReg(kind string) error {
 		if _, dup := p.qregs[name]; dup {
 			return p.errf("duplicate qreg %q", name)
 		}
+		if size > maxRegisterBits-p.qCount {
+			return p.errf("qreg %q pushes the total qubit count past %d", name, maxRegisterBits)
+		}
 		p.qregs[name] = [2]int{p.qCount, size}
 		p.qCount += size
 	} else {
 		if _, dup := p.cregs[name]; dup {
 			return p.errf("duplicate creg %q", name)
 		}
+		if size > maxRegisterBits-p.cCount {
+			return p.errf("creg %q pushes the total bit count past %d", name, maxRegisterBits)
+		}
 		p.cregs[name] = [2]int{p.cCount, size}
 		p.cCount += size
 	}
 	return nil
 }
+
+// maxRegisterBits bounds the total declared qubits/bits; it is far beyond
+// anything simulable and exists to keep adversarial register sizes from
+// overflowing the flat index space.
+const maxRegisterBits = 1 << 20
 
 func (p *parser) parseMeasure() error {
 	p.advance()

@@ -160,11 +160,12 @@ func (o jobObserver) OnGate(e core.GateEvent) {
 
 func (o jobObserver) OnApproximation(r core.Round) {
 	rp := RoundPayload{
-		GateIndex:    r.GateIndex,
-		SizeBefore:   r.Report.SizeBefore,
-		SizeAfter:    r.Report.SizeAfter,
-		Achieved:     r.Report.Achieved,
-		RemovedNodes: r.Report.RemovedNodes,
+		GateIndex:     r.GateIndex,
+		SizeBefore:    r.Report.SizeBefore,
+		SizeAfter:     r.Report.SizeAfter,
+		Achieved:      r.Report.Achieved,
+		RemovedNodes:  r.Report.RemovedNodes,
+		ReplacedNodes: r.Report.ReplacedNodes,
 	}
 	o.buf.append(Event{Type: EventApproximation, GateIndex: r.GateIndex, Round: &rp})
 }

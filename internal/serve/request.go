@@ -23,6 +23,11 @@ const (
 	StrategyExact    = "exact"
 	StrategyMemory   = "memory"
 	StrategyFidelity = "fidelity"
+	// StrategyReplace is node replacement (arXiv 2507.04335): low-
+	// contribution nodes are swapped for cheaper substitutes instead of
+	// zeroed. Parameters via StrategyParams (core.ReplaceDrivenParams),
+	// e.g. {"node_budget":512,"fidelity_floor":0.9,"kinds":["collapse","promote"]}.
+	StrategyReplace = "replace"
 	// StrategyReorder wraps any other strategy with variable reordering; it
 	// takes parameters only through StrategyParams (see order.Params), e.g.
 	// {"order":"scored","sift":true,"inner":"memory","inner_params":{...}}.

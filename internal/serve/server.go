@@ -229,11 +229,16 @@ type JobStatus struct {
 
 // RoundPayload is one approximation round in a result.
 type RoundPayload struct {
-	GateIndex    int     `json:"gate_index"`
-	SizeBefore   int     `json:"size_before"`
-	SizeAfter    int     `json:"size_after"`
-	Achieved     float64 `json:"achieved_fidelity"`
-	RemovedNodes int     `json:"removed_nodes"`
+	GateIndex  int     `json:"gate_index"`
+	SizeBefore int     `json:"size_before"`
+	SizeAfter  int     `json:"size_after"`
+	Achieved   float64 `json:"achieved_fidelity"`
+	// RemovedNodes counts nodes whose subtrees were zeroed (delete-based
+	// rounds); ReplacedNodes counts nodes swapped for cheaper substitutes
+	// (strategy=replace). A replace round can report both when the delete
+	// fallback finished the job.
+	RemovedNodes  int `json:"removed_nodes"`
+	ReplacedNodes int `json:"replaced_nodes,omitempty"`
 }
 
 // ResultPayload is the JSON body of a finished job.
@@ -454,11 +459,12 @@ func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 	}
 	for _, r := range res.Rounds {
 		p.Rounds = append(p.Rounds, RoundPayload{
-			GateIndex:    r.GateIndex,
-			SizeBefore:   r.Report.SizeBefore,
-			SizeAfter:    r.Report.SizeAfter,
-			Achieved:     r.Report.Achieved,
-			RemovedNodes: r.Report.RemovedNodes,
+			GateIndex:     r.GateIndex,
+			SizeBefore:    r.Report.SizeBefore,
+			SizeAfter:     r.Report.SizeAfter,
+			Achieved:      r.Report.Achieved,
+			RemovedNodes:  r.Report.RemovedNodes,
+			ReplacedNodes: r.Report.ReplacedNodes,
 		})
 	}
 	if shots := comp.req.Shots; shots > 0 {

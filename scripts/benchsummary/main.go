@@ -25,6 +25,9 @@
 //     than the fresh-manager workers4 configuration, or
 //   - the ordering win disappeared: BenchmarkSessionOrdering/scored must
 //     keep its peak_nodes metric below BenchmarkSessionOrdering/identity, or
+//   - the replace-vs-delete frontier regressed: BenchmarkFrontierPairs must
+//     report frontier_dominated == frontier_points (the replace pass keeps
+//     fidelity >= delete within the node budget at every swept budget), or
 //   - with -cluster set, the cluster routing gate fails: hash-affinity
 //     routing must beat round-robin on cluster cache hit rate, and the
 //     hash-routed p99 latency in BENCH_cluster.json must stay within
@@ -485,6 +488,22 @@ func runCheck(baselinePath, summaryPath string, threshold, minNs float64, match 
 		failures = append(failures, fmt.Sprintf(
 			"BenchmarkSessionOrdering: scored peak_nodes %.0f did not improve on identity %.0f",
 			scored.Metrics["peak_nodes"], ident.Metrics["peak_nodes"]))
+	}
+
+	// The replace-vs-delete frontier gate: on the pairs workload the replace
+	// pass must dominate or match the delete pass at every swept budget
+	// (frontier_dominated == frontier_points, emitted by
+	// BenchmarkFrontierPairs in internal/benchtab).
+	frontier, okFr := cur.Benchmarks["BenchmarkFrontierPairs"]
+	switch {
+	case !okFr:
+		failures = append(failures, "BenchmarkFrontierPairs: missing from summary (replace-vs-delete frontier unverified)")
+	case frontier.Metrics["frontier_points"] <= 0:
+		failures = append(failures, "BenchmarkFrontierPairs: frontier_points metric missing or zero")
+	case frontier.Metrics["frontier_dominated"] < frontier.Metrics["frontier_points"]:
+		failures = append(failures, fmt.Sprintf(
+			"BenchmarkFrontierPairs: replace dominated delete on only %.0f of %.0f budgets",
+			frontier.Metrics["frontier_dominated"], frontier.Metrics["frontier_points"]))
 	}
 
 	for name := range cur.Benchmarks {
