@@ -5,11 +5,12 @@
 GO ?= go
 
 # Perf-regression gate knobs (see scripts/benchsummary): relative ns/op
-# regression that fails bench-check, and an optional baseline floor below
-# which timings are ignored (0 = gate everything; Gate/Session benches run
-# at -benchtime 100ms so even ns-scale results are statistically solid).
+# regression that fails bench-check, and a baseline floor below which
+# benchmarks are informational only — sub-microsecond timings (currently
+# just GateApplicationWarm at ~90ns) swing well past the threshold run to
+# run on shared runners even at -benchtime 100ms with min-of-5 selection.
 BENCH_CHECK_THRESHOLD ?= 0.25
-BENCH_CHECK_MIN_NS ?= 0
+BENCH_CHECK_MIN_NS ?= 1000
 # Parallel-scaling gate: required workers1/workers4 speedup (self-skips on
 # runners with fewer than 4 CPUs) and required allocs+bytes reduction of the
 # reused-manager arena configuration over fresh managers. 0 disables either.
@@ -49,8 +50,8 @@ bench:
 ## scripts/benchsummary into the stable-schema BENCH_summary.json
 ## (benchmark -> ns/op, allocs/op, custom metrics) that bench-check gates on
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Gate|Session' -benchtime 100ms -count 5 -benchmem -json \
-		./internal/dd ./internal/sim > BENCH_dd.json
+	$(GO) test -run '^$$' -bench 'Gate|Session|Channel' -benchtime 100ms -count 5 -benchmem -json \
+		./internal/dd ./internal/sim ./internal/density > BENCH_dd.json
 	$(GO) test -run '^$$' -bench 'Batch' -benchtime 1x -count 3 -benchmem -json \
 		./internal/batch >> BENCH_dd.json
 	$(GO) test -run '^$$' -bench 'Frontier' -benchtime 1x -count 3 -benchmem -json \
@@ -138,15 +139,17 @@ doc-lint:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzApproximate$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzQASMParse$$' -fuzztime 10s ./internal/qasm
+	$(GO) test -run '^$$' -fuzz '^FuzzKrausChannel$$' -fuzztime 10s ./internal/density
 
-## cover-check: measure combined internal/core + internal/dd statement
-## coverage into coverage.out and fail below the committed COVER_FLOOR
+## cover-check: measure combined internal/core + internal/dd +
+## internal/dense + internal/density statement coverage into coverage.out
+## and fail below the committed COVER_FLOOR
 cover-check:
-	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/dd
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/dd ./internal/dense ./internal/density
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
-		if (t+0 < floor+0) { printf "cover-check: core+dd coverage %.1f%% below floor %.1f%%\n", t, floor; exit 1 } \
-		printf "cover-check: core+dd coverage %.1f%% (floor %.1f%%)\n", t, floor }'
+		if (t+0 < floor+0) { printf "cover-check: core+dd+dense+density coverage %.1f%% below floor %.1f%%\n", t, floor; exit 1 } \
+		printf "cover-check: core+dd+dense+density coverage %.1f%% (floor %.1f%%)\n", t, floor }'
 
 ## simd-smoke: build the simulation service, boot it, and run a QASM job
 ## end-to-end including a cache-hit resubmission (the CI gate)

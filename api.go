@@ -11,6 +11,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/density"
 	"repro/internal/gen"
 	"repro/internal/opt"
 	"repro/internal/order"
@@ -95,9 +96,48 @@ type (
 	CleanupEvent = core.CleanupEvent
 	// ReorderEvent reports a dynamic variable-reordering (sifting) pass.
 	ReorderEvent = core.ReorderEvent
+	// ChannelEvent reports a noise-channel application: exact superoperator
+	// applications on the density backend (Branch −1), sampled quantum
+	// jumps on a trajectory (Branch ≥ 1).
+	ChannelEvent = core.ChannelEvent
 	// FinishEvent summarizes a finished, failed, or aborted session.
 	FinishEvent = core.FinishEvent
 )
+
+// Noisy simulation: the density-matrix backend and quantum-trajectory
+// sampling (internal/density, internal/sim).
+type (
+	// Backend selects a run's state representation: BackendStatevector
+	// (default) or BackendDensity (exact noisy simulation on ρ).
+	Backend = sim.Backend
+	// NoiseModel describes a noise channel applied after every gate to
+	// each touched qubit (kind, strength, trajectory seed).
+	NoiseModel = sim.NoiseModel
+	// DensityState is a density matrix on matrix decision diagrams, with
+	// purity, fidelity, probability, and sampling extraction.
+	DensityState = density.State
+	// NoiseChannel is a single-qubit Kraus channel; build one with
+	// NewNoiseChannel or density.FromKraus.
+	NoiseChannel = density.Channel
+	// NoiseKind names a built-in channel (density.Depolarizing, ...).
+	NoiseKind = density.Kind
+)
+
+// Simulation backends.
+const (
+	BackendStatevector = sim.BackendStatevector
+	BackendDensity     = sim.BackendDensity
+)
+
+// NewNoiseChannel builds a built-in single-qubit channel (depolarizing,
+// amplitude_damping, dephasing, bit_flip, phase_flip) of strength p,
+// validating Kraus completeness.
+func NewNoiseChannel(kind NoiseKind, p float64) (NoiseChannel, error) {
+	return density.New(kind, p)
+}
+
+// NoiseKinds lists the built-in channel kinds.
+func NoiseKinds() []NoiseKind { return density.Kinds() }
 
 // Variable ordering (the reordering layer of internal/order and
 // internal/dd): the qubit→level order is as decisive for DD size as the
@@ -341,6 +381,15 @@ func WithSizeHistory() SimOption { return sim.WithSizeHistory() }
 // WithKeepAlive protects states from earlier runs on the same manager
 // across this run's node-pool sweeps.
 func WithKeepAlive(edges ...VEdge) SimOption { return sim.WithKeepAlive(edges...) }
+
+// WithBackend selects the state representation (BackendDensity for exact
+// noisy simulation; the default is BackendStatevector).
+func WithBackend(b Backend) SimOption { return sim.WithBackend(b) }
+
+// WithNoise applies the noise channel after every gate: exactly on the
+// density backend, as one sampled quantum trajectory on the statevector
+// backend.
+func WithNoise(n NoiseModel) SimOption { return sim.WithNoise(n) }
 
 // RegisterStrategy makes a custom approximation strategy constructible by
 // name — usable in-process (NewStrategyByName, WithStrategy) and over the

@@ -71,6 +71,7 @@ const (
 	EventApproximation = serve.EventApproximation
 	EventCleanup       = serve.EventCleanup
 	EventReorder       = serve.EventReorder
+	EventChannel       = serve.EventChannel
 	EventFinish        = serve.EventFinish
 	EventStatus        = serve.EventStatus
 )

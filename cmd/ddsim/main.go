@@ -12,14 +12,22 @@
 //	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05 -trace
 //	ddsim -gen ghz:4 -dot out.dot
 //	ddsim -gen qft:12 -order scored -sift
+//	ddsim -gen qft:6 -noise depolarizing -noise-param p=0.01 -shots 16
+//	ddsim -gen ghz:5 -noise amplitude_damping -noise-param p=0.05 -backend statevector -trace
 //
 // -order installs a static variable ordering (identity, reversed, scored)
 // before simulation; -sift additionally runs dynamic reordering passes when
 // the state DD outgrows -sift-threshold. Both compose with -strategy.
 //
-// -trace streams per-gate node counts, approximation rounds, and node-pool
-// cleanups live (via the simulator's observer hooks) instead of waiting for
-// the run to finish.
+// -noise applies a per-qubit, per-gate noise channel (depolarizing,
+// amplitude_damping, dephasing, bit_flip, phase_flip) parameterized by
+// -noise-param key=value pairs (p, gamma, seed). Noisy runs default to the
+// density backend, which applies the channel exactly as a superoperator;
+// -backend statevector instead samples one Monte-Carlo trajectory.
+//
+// -trace streams per-gate node counts, approximation rounds, node-pool
+// cleanups, and noise-channel applications live (via the simulator's
+// observer hooks) instead of waiting for the run to finish.
 package main
 
 import (
@@ -28,6 +36,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -56,10 +66,15 @@ func main() {
 	orderName := flag.String("order", "", "variable ordering: identity, reversed, or scored (empty = identity without the reordering layer)")
 	sift := flag.Bool("sift", false, "enable dynamic sifting passes at the between-gate safe point")
 	siftThreshold := flag.Int("sift-threshold", 0, "state-DD node count that triggers a sifting pass (0 = default)")
+	noiseKind := flag.String("noise", "", "noise channel: depolarizing, amplitude_damping, dephasing, bit_flip, phase_flip (empty = noiseless)")
+	var noiseParams paramFlags
+	flag.Var(&noiseParams, "noise-param", "noise parameter as key=value (p, gamma, seed); repeatable")
+	backend := flag.String("backend", "", "state representation: statevector or density (empty = statevector, or density when -noise is set)")
 	flag.Parse()
 
-	// `ddsim circuit.qasm` is the documented spelling; a positional
-	// argument is the QASM file (flags must come before it).
+	// `ddsim circuit.qasm` is the documented spelling; the single positional
+	// argument is the QASM file, and every flag above — including -noise,
+	// -noise-param, and -backend — must come before it.
 	switch flag.NArg() {
 	case 0:
 	case 1:
@@ -68,7 +83,7 @@ func main() {
 		}
 		*qasmPath = flag.Arg(0)
 	default:
-		fatal(fmt.Errorf("at most one positional argument (the QASM file), got %v", flag.Args()))
+		fatal(fmt.Errorf("at most one positional argument (the QASM file; flags like -noise/-noise-param/-backend must precede it), got %v", flag.Args()))
 	}
 
 	circ, err := loadCircuit(*qasmPath, *genSpec)
@@ -119,6 +134,19 @@ func main() {
 			SiftThreshold: *siftThreshold,
 		}, opts.Strategy)
 	}
+	opts.Backend = sim.Backend(*backend)
+	if *noiseKind != "" {
+		noise, err := sim.ParseNoise(*noiseKind, noiseParams.m)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Noise = &noise
+		if *backend == "" {
+			opts.Backend = sim.BackendDensity // exact noisy simulation by default
+		}
+	} else if len(noiseParams.m) > 0 {
+		fatal(fmt.Errorf("-noise-param given without -noise"))
+	}
 
 	s := sim.New()
 	res, err := s.Run(circ, opts)
@@ -128,8 +156,18 @@ func main() {
 
 	fmt.Printf("circuit:    %s\n", circ.String())
 	fmt.Printf("strategy:   %s\n", res.StrategyName)
+	if res.Backend != sim.BackendStatevector || res.Noise != nil {
+		fmt.Printf("backend:    %s\n", res.Backend)
+	}
+	if res.Noise != nil {
+		fmt.Printf("noise:      %s p=%g (%d channel applications)\n",
+			res.Noise.Kind, res.Noise.P, res.ChannelApplications)
+	}
 	fmt.Printf("max DD:     %d nodes\n", res.MaxDDSize)
 	fmt.Printf("final DD:   %d nodes\n", res.FinalDDSize)
+	if res.Density != nil {
+		fmt.Printf("purity:     %.6f\n", res.Purity)
+	}
 	fmt.Printf("runtime:    %v\n", res.Runtime)
 	if res.InitialOrder != nil {
 		fmt.Printf("order:      %v", res.FinalOrder)
@@ -158,7 +196,12 @@ func main() {
 	}
 	if *shots > 0 {
 		rng := rand.New(rand.NewSource(*seed))
-		hist := s.M.SampleMany(res.Final, circ.NumQubits, *shots, rng)
+		var hist map[uint64]int
+		if res.Density != nil {
+			hist = res.Density.SampleMany(*shots, rng)
+		} else {
+			hist = s.M.SampleMany(res.Final, circ.NumQubits, *shots, rng)
+		}
 		fmt.Printf("samples (%d shots):\n", *shots)
 		printed := 0
 		for idx, count := range hist {
@@ -171,6 +214,9 @@ func main() {
 		}
 	}
 	if *dotPath != "" {
+		if res.Density != nil {
+			fatal(fmt.Errorf("-dot renders state DDs; not supported on the density backend"))
+		}
 		if err := os.WriteFile(*dotPath, []byte(dd.DOT(res.Final, circ.Name)), 0o644); err != nil {
 			fatal(err)
 		}
@@ -197,6 +243,16 @@ func (o traceObserver) OnCleanup(e core.CleanupEvent) {
 func (o traceObserver) OnReorder(e core.ReorderEvent) {
 	fmt.Fprintf(o.w, "reorder after gate %4d: %6d -> %6d nodes (%d swaps), order %v\n",
 		e.GateIndex, e.SizeBefore, e.SizeAfter, e.Swaps, e.Order)
+}
+
+func (o traceObserver) OnChannel(e core.ChannelEvent) {
+	if e.Branch < 0 {
+		fmt.Fprintf(o.w, "channel after gate %4d: %s(p=%g) on qubit %d, %d nodes\n",
+			e.GateIndex, e.Kind, e.Strength, e.Qubit, e.Size)
+		return
+	}
+	fmt.Fprintf(o.w, "jump    after gate %4d: %s branch %d on qubit %d, %d nodes\n",
+		e.GateIndex, e.Kind, e.Branch, e.Qubit, e.Size)
 }
 
 func (o traceObserver) OnFinish(e core.FinishEvent) {
@@ -239,10 +295,37 @@ func (m multiObserver) OnReorder(e core.ReorderEvent) {
 	}
 }
 
+func (m multiObserver) OnChannel(e core.ChannelEvent) {
+	for _, o := range m {
+		o.OnChannel(e)
+	}
+}
+
 func (m multiObserver) OnFinish(e core.FinishEvent) {
 	for _, o := range m {
 		o.OnFinish(e)
 	}
+}
+
+// paramFlags collects repeatable key=value flag instances into a map.
+type paramFlags struct{ m map[string]float64 }
+
+func (p *paramFlags) String() string { return fmt.Sprint(p.m) }
+
+func (p *paramFlags) Set(s string) error {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %s: %v", key, err)
+	}
+	if p.m == nil {
+		p.m = make(map[string]float64)
+	}
+	p.m[key] = f
+	return nil
 }
 
 func loadCircuit(qasmPath, genSpec string) (*circuit.Circuit, error) {

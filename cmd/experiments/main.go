@@ -1,7 +1,9 @@
 // Command experiments regenerates the measured data behind EXPERIMENTS.md:
 // Table I (both halves) at the chosen scale, the hyper-parameter sweeps
-// (E8/E9), the paper's worked examples (E3/E7), and the Lemma 1 / fidelity
-// tracking validation (E6), as one markdown report on stdout.
+// (E8/E9), the paper's worked examples (E3/E7), the Lemma 1 / fidelity
+// tracking validation (E6), and the noisy-fidelity comparison of the
+// density-matrix backend against quantum-trajectory sampling (E12), as one
+// markdown report on stdout.
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/density"
 	"repro/internal/gen"
 	"repro/internal/order"
 	"repro/internal/shor"
@@ -57,6 +60,7 @@ func main() {
 	report("E9 — fidelity-driven round tradeoff", func() error { return roundTradeoff(runOpts) })
 	report("E11 — delete-vs-replace fidelity/size frontier", func() error { return replaceFrontier(runOpts) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
+	report("E12 — noisy fidelity: density backend vs quantum trajectories", noisyFidelity)
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
 	if *verbose {
 		report("DD memory system — per-cache and pool statistics", memorySystemStats)
@@ -204,6 +208,46 @@ func fidelityTracking() error {
 		cmp.EstimateError, cmp.Approx.FidelityBound)
 	if cmp.TrueFidelity < cmp.Approx.FidelityBound-1e-6 {
 		return fmt.Errorf("bound violated")
+	}
+	return nil
+}
+
+// noisyFidelity sweeps noise strength on the QFT and reports, per channel
+// kind, the exact fidelity ⟨ideal|ρ|ideal⟩ and purity from the density-matrix
+// backend against the Monte-Carlo estimate from quantum-trajectory sampling —
+// the experiment behind the backend's differential acceptance test.
+func noisyFidelity() error {
+	c := gen.QFT(6)
+	const trajectories = 96
+	fmt.Printf("workload: %s, %d trajectories per estimate\n\n", c.Name, trajectories)
+	fmt.Println("| channel | p | density fidelity | purity | trajectory mean | |Δ| |")
+	fmt.Println("|---------|--:|-----------------:|-------:|----------------:|----:|")
+	for _, kind := range []density.Kind{density.Depolarizing, density.AmplitudeDamping} {
+		for _, p := range []float64{0.005, 0.02, 0.05} {
+			noise := sim.NoiseModel{Kind: kind, P: p, Seed: 1}
+
+			s := sim.New()
+			ideal, err := s.Run(c, sim.Options{})
+			if err != nil {
+				return err
+			}
+			den, err := s.Run(c, sim.Options{
+				Backend:   sim.BackendDensity,
+				Noise:     &noise,
+				KeepAlive: []dd.VEdge{ideal.Final},
+			})
+			if err != nil {
+				return err
+			}
+			exact := den.Density.FidelityPure(ideal.Final)
+
+			est, err := sim.TrajectoryFidelity(c, noise, trajectories)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("| %s | %g | %.6f | %.6f | %.6f | %.4f |\n",
+				kind, p, exact, den.Purity, est, math.Abs(est-exact))
+		}
 	}
 	return nil
 }

@@ -20,6 +20,11 @@ type Observer interface {
 	// OnReorder fires after a dynamic variable-reordering (sifting) pass
 	// changed the qubit→level order mid-run.
 	OnReorder(e ReorderEvent)
+	// OnChannel fires after a noise-channel application: once per touched
+	// qubit per gate on the density backend (exact superoperator), and on
+	// the statevector backend only when a trajectory sampled a non-identity
+	// Kraus branch (a quantum jump).
+	OnChannel(e ChannelEvent)
 	// OnFinish fires exactly once when the session ends: after the last
 	// gate, on a mid-run error, or on Session.Abort.
 	OnFinish(e FinishEvent)
@@ -56,6 +61,24 @@ type ReorderEvent struct {
 	Order []int
 }
 
+// ChannelEvent describes one noise-channel application.
+type ChannelEvent struct {
+	// GateIndex is the gate after which the channel was applied.
+	GateIndex int
+	// Qubit the channel acted on.
+	Qubit int
+	// Kind is the channel kind name (e.g. "depolarizing").
+	Kind string
+	// Strength is the channel's error probability / damping rate.
+	Strength float64
+	// Branch is -1 for an exact superoperator application (density
+	// backend); for a trajectory it is the index (≥ 1) of the sampled
+	// non-identity Kraus branch.
+	Branch int
+	// Size is the node count of the state DD after the application.
+	Size int
+}
+
 // FinishEvent summarizes a finished (or aborted/failed) simulation.
 type FinishEvent struct {
 	// GatesApplied is how many gates actually ran (equals the circuit
@@ -90,6 +113,9 @@ func (NopObserver) OnCleanup(CleanupEvent) {}
 
 // OnReorder implements Observer.
 func (NopObserver) OnReorder(ReorderEvent) {}
+
+// OnChannel implements Observer.
+func (NopObserver) OnChannel(ChannelEvent) {}
 
 // OnFinish implements Observer.
 func (NopObserver) OnFinish(FinishEvent) {}

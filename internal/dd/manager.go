@@ -61,8 +61,13 @@ type Manager struct {
 	nextID uint64
 
 	// visitV is the retained scratch set behind CountV, so per-gate DD size
-	// tracking allocates nothing at steady state.
-	visitV map[*VNode]struct{}
+	// tracking allocates nothing at steady state. visitM and traceMemo are
+	// the matrix counterparts behind CountM and MTrace (hot in the density
+	// backend's per-gate loop). All three are cleared per call, never across
+	// calls, so node recycling cannot leave stale entries behind.
+	visitV    map[*VNode]struct{}
+	visitM    map[*MNode]struct{}
+	traceMemo map[*MNode]complex128
 
 	// Stats counters.
 	vNodesCreated uint64

@@ -1,0 +1,161 @@
+package dense
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomUnitary returns a Haar-style random 2×2 unitary from three angles,
+// row-major [u00 u01 u10 u11].
+func randomUnitary(rng *rand.Rand) [4]complex128 {
+	theta := rng.Float64() * math.Pi
+	phi := rng.Float64() * 2 * math.Pi
+	lam := rng.Float64() * 2 * math.Pi
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return [4]complex128{
+		complex(c, 0),
+		-cmplx.Exp(complex(0, lam)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi+lam)) * complex(c, 0),
+	}
+}
+
+// dagger returns the conjugate transpose of a row-major 2×2 matrix.
+func dagger(u [4]complex128) [4]complex128 {
+	return [4]complex128{
+		cmplx.Conj(u[0]), cmplx.Conj(u[2]),
+		cmplx.Conj(u[1]), cmplx.Conj(u[3]),
+	}
+}
+
+// randomDenseState returns a normalized random state on n qubits.
+func randomDenseState(rng *rand.Rand, n int) *State {
+	amp := make([]complex128, 1<<uint(n))
+	for i := range amp {
+		amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	s, err := FromAmplitudes(amp)
+	if err != nil {
+		panic(err)
+	}
+	s.Normalize()
+	return s
+}
+
+// TestPropertyGatePreservesNorm: unitary application is an isometry.
+func TestPropertyGatePreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		s := randomDenseState(rng, n)
+		s.ApplyGate(randomUnitary(rng), rng.Intn(n))
+		if math.Abs(s.Norm()-1) > 1e-12 {
+			t.Fatalf("trial %d: norm %v after unitary on %d qubits", trial, s.Norm(), n)
+		}
+	}
+}
+
+// TestPropertyGateInverse: applying U then U† restores the state, controls
+// included.
+func TestPropertyGateInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		s := randomDenseState(rng, n)
+		before := s.Clone()
+		u := randomUnitary(rng)
+		target := rng.Intn(n)
+		var controls []ControlSpec
+		if ctl := rng.Intn(n); ctl != target {
+			controls = append(controls, ControlSpec{Qubit: ctl, Positive: rng.Intn(2) == 0})
+		}
+		s.ApplyGate(u, target, controls...)
+		s.ApplyGate(dagger(u), target, controls...)
+		for i := range s.Amp {
+			if cmplx.Abs(s.Amp[i]-before.Amp[i]) > 1e-12 {
+				t.Fatalf("trial %d: amplitude %d drifted: %v vs %v", trial, i, s.Amp[i], before.Amp[i])
+			}
+		}
+	}
+}
+
+// TestPropertyPermutationInverse: a permutation followed by its inverse is
+// the identity, and permutations preserve the norm.
+func TestPropertyPermutationInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(n)
+		perm := rng.Perm(1 << uint(k))
+		inv := make([]int, len(perm))
+		for i, p := range perm {
+			inv[p] = i
+		}
+		s := randomDenseState(rng, n)
+		before := s.Clone()
+		s.ApplyPermutation(perm, k)
+		if math.Abs(s.Norm()-1) > 1e-12 {
+			t.Fatalf("trial %d: permutation changed the norm to %v", trial, s.Norm())
+		}
+		s.ApplyPermutation(inv, k)
+		for i := range s.Amp {
+			if cmplx.Abs(s.Amp[i]-before.Amp[i]) > 1e-12 {
+				t.Fatalf("trial %d: permutation round trip drifted at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestPropertyInnerProduct: ⟨s|o⟩ = conj(⟨o|s⟩), fidelity is symmetric and
+// in [0,1] for unit vectors, and F(s,s) = 1.
+func TestPropertyInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		s, o := randomDenseState(rng, n), randomDenseState(rng, n)
+		ip, pi := s.InnerProduct(o), o.InnerProduct(s)
+		if cmplx.Abs(ip-cmplx.Conj(pi)) > 1e-12 {
+			t.Fatalf("trial %d: inner product not conjugate-symmetric: %v vs %v", trial, ip, pi)
+		}
+		f, g := s.Fidelity(o), o.Fidelity(s)
+		if math.Abs(f-g) > 1e-12 || f < -1e-12 || f > 1+1e-12 {
+			t.Fatalf("trial %d: fidelity %v / %v out of contract", trial, f, g)
+		}
+		if self := s.Fidelity(s); math.Abs(self-1) > 1e-12 {
+			t.Fatalf("trial %d: self-fidelity %v", trial, self)
+		}
+	}
+}
+
+// TestPropertyTruncate: the returned fidelity equals the kept probability
+// mass, the truncated state is normalized, and every removed amplitude is
+// exactly zero.
+func TestPropertyTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		s := randomDenseState(rng, n)
+		keep := map[uint64]bool{}
+		var want float64
+		for i := range s.Amp {
+			if rng.Intn(2) == 0 {
+				keep[uint64(i)] = true
+				want += s.Probability(uint64(i))
+			}
+		}
+		got := s.Truncate(keep)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: truncation fidelity %v, want kept mass %v", trial, got, want)
+		}
+		for i := range s.Amp {
+			if !keep[uint64(i)] && s.Amp[i] != 0 {
+				t.Fatalf("trial %d: removed amplitude %d survived: %v", trial, i, s.Amp[i])
+			}
+		}
+		if len(keep) > 0 && math.Abs(s.Norm()-1) > 1e-12 {
+			t.Fatalf("trial %d: truncated state has norm %v", trial, s.Norm())
+		}
+	}
+}

@@ -21,6 +21,10 @@ const (
 	EventCleanup = "cleanup"
 	// EventReorder reports a dynamic variable-reordering (sifting) pass.
 	EventReorder = "reorder"
+	// EventChannel reports a noise-channel application: every exact
+	// superoperator application on the density backend, each sampled
+	// non-identity Kraus branch (quantum jump) on a trajectory.
+	EventChannel = "channel"
 	// EventFinish summarizes the simulation the moment it ends on the
 	// worker (before the job result is published).
 	EventFinish = "finish"
@@ -51,6 +55,14 @@ type Event struct {
 	SizeBefore int   `json:"size_before,omitempty"`
 	Swaps      int   `json:"swaps,omitempty"`
 	Order      []int `json:"order,omitempty"`
+	// Qubit, Kind, Strength, and Branch describe channel events (Size
+	// carries the state-DD node count after the application; Branch is -1
+	// for an exact superoperator application, the sampled Kraus index for
+	// a trajectory jump).
+	Qubit    int     `json:"qubit,omitempty"`
+	Kind     string  `json:"kind,omitempty"`
+	Strength float64 `json:"strength,omitempty"`
+	Branch   int     `json:"branch,omitempty"`
 	// MaxSize, Rounds, and Fidelity summarize finish events.
 	MaxSize  int     `json:"max_size,omitempty"`
 	Rounds   int     `json:"rounds,omitempty"`
@@ -182,6 +194,18 @@ func (o jobObserver) OnReorder(e core.ReorderEvent) {
 		SizeBefore: e.SizeBefore,
 		Swaps:      e.Swaps,
 		Order:      e.Order,
+	})
+}
+
+func (o jobObserver) OnChannel(e core.ChannelEvent) {
+	o.buf.append(Event{
+		Type:      EventChannel,
+		GateIndex: e.GateIndex,
+		Qubit:     e.Qubit,
+		Kind:      e.Kind,
+		Strength:  e.Strength,
+		Branch:    e.Branch,
+		Size:      e.Size,
 	})
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dd"
 	"repro/internal/qasm"
+	"repro/internal/sim"
 )
 
 // Builtin strategy names accepted in JobRequest.Strategy. Any further name
@@ -83,6 +84,21 @@ type JobRequest struct {
 	// FinalFidelity is the fidelity-driven end-to-end lower bound f_final.
 	FinalFidelity float64 `json:"final_fidelity,omitempty"`
 
+	// Backend selects the state representation: "statevector" (the
+	// default) or "density" (exact noisy simulation on a density matrix).
+	// A submission that sets noise but leaves the backend empty runs on
+	// the density backend; "statevector" with noise runs one seeded
+	// quantum-trajectory sample instead.
+	Backend string `json:"backend,omitempty"`
+	// Noise names a built-in channel applied after every gate to each
+	// touched qubit: depolarizing, amplitude_damping, dephasing, bit_flip,
+	// or phase_flip. Empty means noiseless.
+	Noise string `json:"noise,omitempty"`
+	// NoiseParams parameterizes the channel: "p" (or "gamma", the
+	// amplitude-damping spelling) is the channel strength in [0,1], "seed"
+	// seeds trajectory branch sampling on the statevector backend.
+	NoiseParams map[string]float64 `json:"noise_params,omitempty"`
+
 	// InitialState selects the starting basis state |InitialState⟩.
 	InitialState uint64 `json:"initial_state,omitempty"`
 	// Shots draws that many samples from the final state (0 = none).
@@ -108,6 +124,11 @@ type compiled struct {
 	// parameters the job's per-run strategy instances are built from.
 	stratName   string
 	stratParams json.RawMessage
+
+	// backend is the resolved simulation backend (never empty) and noise
+	// the parsed channel model (nil when the submission is noiseless).
+	backend sim.Backend
+	noise   *sim.NoiseModel
 }
 
 // resolveCircuit builds the submission's circuit IR from whichever of the
@@ -179,7 +200,21 @@ func (s *Server) compile(req JobRequest) (*compiled, error) {
 		return nil, err
 	}
 
-	c := &compiled{req: req, circuit: circ, stratName: name, stratParams: params}
+	backend, noise, err := resolveNoise(req)
+	if err != nil {
+		return nil, err
+	}
+	if backend == sim.BackendDensity {
+		// The density backend evolves ρ exactly; approximation strategies
+		// rewrite statevector DDs and cannot run on it. Reject here with a
+		// 400 instead of a failed job.
+		if _, exact := st.(core.Exact); !exact {
+			return nil, fmt.Errorf("backend %q requires the exact strategy, got %q", backend, name)
+		}
+	}
+
+	c := &compiled{req: req, circuit: circ, stratName: name, stratParams: params,
+		backend: backend, noise: noise}
 	c.hash = contentHash(circ, normalizeForHash(req))
 	c.seed = req.Seed
 	if c.seed == 0 {
@@ -233,6 +268,37 @@ func resolveStrategy(req JobRequest) (string, json.RawMessage, error) {
 		}
 		return name, nil, nil
 	}
+}
+
+// resolveNoise validates the submission's backend and noise fields and
+// resolves the effective backend: an empty backend means statevector for
+// noiseless jobs and density for noisy ones (exact noisy results are what a
+// noise-carrying submission is asking for; trajectory sampling is the
+// explicit statevector+noise opt-in).
+func resolveNoise(req JobRequest) (sim.Backend, *sim.NoiseModel, error) {
+	var noise *sim.NoiseModel
+	switch {
+	case req.Noise != "":
+		n, err := sim.ParseNoise(req.Noise, req.NoiseParams)
+		if err != nil {
+			return "", nil, err
+		}
+		noise = &n
+	case len(req.NoiseParams) > 0:
+		return "", nil, fmt.Errorf("noise_params given without noise")
+	}
+	backend := sim.Backend(req.Backend)
+	switch backend {
+	case "":
+		backend = sim.BackendStatevector
+		if noise != nil {
+			backend = sim.BackendDensity
+		}
+	case sim.BackendStatevector, sim.BackendDensity:
+	default:
+		return "", nil, fmt.Errorf("unknown backend %q (have %v)", req.Backend, sim.Backends())
+	}
+	return backend, noise, nil
 }
 
 // newStrategy builds a fresh strategy instance for one run (strategies are
@@ -341,6 +407,28 @@ func normalizeForHash(req JobRequest) JobRequest {
 		// strategy_params; the flat fields cannot affect the run.
 		req.Threshold, req.Growth, req.RoundFidelity, req.FinalFidelity = 0, 0, 0, 0
 	}
+	// Backend and noise canonicalize the same way compile resolves them: the
+	// empty backend spells out as the effective one, and noise parameters
+	// collapse to their parsed form so the "gamma" spelling of amplitude
+	// damping hashes identically to "p". Malformed noise is left verbatim —
+	// compile rejects it on every backend, so its hash addresses nothing.
+	if req.Noise == "" {
+		req.NoiseParams = nil
+		if req.Backend == "" {
+			req.Backend = string(sim.BackendStatevector)
+		}
+	} else {
+		if req.Backend == "" {
+			req.Backend = string(sim.BackendDensity)
+		}
+		if n, err := sim.ParseNoise(req.Noise, req.NoiseParams); err == nil {
+			req.Noise = string(n.Kind)
+			req.NoiseParams = map[string]float64{"p": n.P}
+			if n.Seed != 0 {
+				req.NoiseParams["seed"] = float64(n.Seed)
+			}
+		}
+	}
 	return req
 }
 
@@ -353,10 +441,18 @@ func normalizeForHash(req JobRequest) JobRequest {
 // diverge.
 func contentHash(c *circuit.Circuit, req JobRequest) string {
 	b := make([]byte, 0, 1024)
-	b = append(b, "repro-serve-v1\x00"...)
+	b = append(b, "repro-serve-v2\x00"...)
 	b = c.AppendCanonical(b)
 	b = append(b, req.Strategy...)
 	b = append(b, 0)
+	b = append(b, req.Backend...)
+	b = append(b, 0)
+	b = append(b, req.Noise...)
+	b = append(b, 0)
+	// normalizeForHash collapsed NoiseParams to at most {"p", "seed"};
+	// hashing the two fixed keys keeps the encoding order-independent.
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.NoiseParams["p"]))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.NoiseParams["seed"]))
 	b = binary.BigEndian.AppendUint64(b, uint64(req.Threshold))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.Growth))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(req.RoundFidelity))

@@ -243,15 +243,29 @@ type RoundPayload struct {
 
 // ResultPayload is the JSON body of a finished job.
 type ResultPayload struct {
-	NumQubits         int            `json:"num_qubits"`
-	GateCount         int            `json:"gate_count"`
-	Strategy          string         `json:"strategy"`
-	Seed              int64          `json:"seed"`
-	MaxDDSize         int            `json:"max_dd_size"`
-	FinalDDSize       int            `json:"final_dd_size"`
-	EstimatedFidelity float64        `json:"estimated_fidelity"`
-	FidelityBound     float64        `json:"fidelity_bound"`
-	Rounds            []RoundPayload `json:"rounds,omitempty"`
+	NumQubits int    `json:"num_qubits"`
+	GateCount int    `json:"gate_count"`
+	Strategy  string `json:"strategy"`
+	// Backend is the state representation the job ran on ("statevector"
+	// or "density").
+	Backend string `json:"backend"`
+	// Noise and NoiseParams echo the resolved noise channel (canonical
+	// parameter spelling); absent on noiseless jobs.
+	Noise       string             `json:"noise,omitempty"`
+	NoiseParams map[string]float64 `json:"noise_params,omitempty"`
+	// Purity is Tr(ρ²) of the final density matrix (density backend only):
+	// 1 for pure states, 1/2^n for the maximally mixed state.
+	Purity float64 `json:"purity,omitempty"`
+	// ChannelApplications counts noise-channel applications: every exact
+	// superoperator application on the density backend, only sampled
+	// non-identity Kraus branches (quantum jumps) on a trajectory.
+	ChannelApplications int            `json:"channel_applications,omitempty"`
+	Seed                int64          `json:"seed"`
+	MaxDDSize           int            `json:"max_dd_size"`
+	FinalDDSize         int            `json:"final_dd_size"`
+	EstimatedFidelity   float64        `json:"estimated_fidelity"`
+	FidelityBound       float64        `json:"fidelity_bound"`
+	Rounds              []RoundPayload `json:"rounds,omitempty"`
 	// Samples maps basis-state bitstrings (qubit n−1 ... qubit 0) to
 	// counts; present when the submission requested shots.
 	Samples map[string]int `json:"samples,omitempty"`
@@ -368,6 +382,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Options: sim.Options{
 			InitialState:    comp.req.InitialState,
 			MeasurementSeed: comp.seed,
+			Backend:         comp.backend,
+			Noise:           comp.noise,
 		},
 		NewStrategy: comp.newStrategy,
 		Observer:    jobObserver{buf: js.events},
@@ -434,15 +450,17 @@ func (s *Server) finalizer(js *jobState, comp *compiled) func(*batch.JobResult) 
 func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 	res := jr.Result
 	p := ResultPayload{
-		NumQubits:         res.NumQubits,
-		GateCount:         res.GateCount,
-		Strategy:          res.StrategyName,
-		Seed:              comp.seed,
-		MaxDDSize:         res.MaxDDSize,
-		FinalDDSize:       res.FinalDDSize,
-		EstimatedFidelity: res.EstimatedFidelity,
-		FidelityBound:     res.FidelityBound,
-		RuntimeMS:         float64(res.Runtime) / float64(time.Millisecond),
+		NumQubits:           res.NumQubits,
+		GateCount:           res.GateCount,
+		Strategy:            res.StrategyName,
+		Backend:             string(res.Backend),
+		ChannelApplications: res.ChannelApplications,
+		Seed:                comp.seed,
+		MaxDDSize:           res.MaxDDSize,
+		FinalDDSize:         res.FinalDDSize,
+		EstimatedFidelity:   res.EstimatedFidelity,
+		FidelityBound:       res.FidelityBound,
+		RuntimeMS:           float64(res.Runtime) / float64(time.Millisecond),
 		DD: DDStats{
 			VNodesCreated: res.DDStats.VNodesCreated,
 			MNodesCreated: res.DDStats.MNodesCreated,
@@ -456,6 +474,16 @@ func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 		FinalOrder:   res.FinalOrder,
 		SiftPasses:   res.SiftPasses,
 		SiftSwaps:    res.SiftSwaps,
+	}
+	if comp.noise != nil {
+		p.Noise = string(comp.noise.Kind)
+		p.NoiseParams = map[string]float64{"p": comp.noise.P}
+		if comp.noise.Seed != 0 {
+			p.NoiseParams["seed"] = float64(comp.noise.Seed)
+		}
+	}
+	if res.Density != nil {
+		p.Purity = res.Purity
 	}
 	for _, r := range res.Rounds {
 		p.Rounds = append(p.Rounds, RoundPayload{
@@ -471,7 +499,12 @@ func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 		// Safe here (and only here): with manager reuse the final state
 		// dies when the worker picks up its next job.
 		rng := rand.New(rand.NewSource(comp.seed))
-		hist := res.Manager.SampleMany(res.Final, res.NumQubits, shots, rng)
+		var hist map[uint64]int
+		if res.Density != nil {
+			hist = res.Density.SampleMany(shots, rng)
+		} else {
+			hist = res.Manager.SampleMany(res.Final, res.NumQubits, shots, rng)
+		}
 		p.Samples = make(map[string]int, len(hist))
 		for idx, count := range hist {
 			p.Samples[fmt.Sprintf("%0*b", res.NumQubits, idx)] = count

@@ -2,57 +2,110 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/circuit"
 	"repro/internal/dd"
+	"repro/internal/density"
 )
 
-// NoiseModel configures Monte-Carlo Pauli noise for trajectory simulation.
-// After every gate, each qubit the gate touched suffers X, Y or Z with
-// probability Depolarizing/3 each. A single trajectory stays a pure state —
-// exactly the regime where DD simulation (and the paper's approximation on
-// top of it) applies; averaging over trajectories emulates the depolarizing
-// channel, connecting the simulator to the noisy-hardware fidelities the
-// paper cites (~1 % for the supremacy experiments).
+// NoiseModel configures a per-qubit, per-gate noise channel by name. It is
+// the single noise schema shared by both backends — and therefore by serve's
+// `noise`/`noise_params` request fields:
+//
+//   - the density backend applies the channel exactly as a superoperator
+//     ρ → Σ_k K_k ρ K_k† after every gate, on every qubit the gate touched;
+//   - the statevector backend simulates one Monte-Carlo trajectory, sampling
+//     a single Kraus branch per touched qubit (for mixed-unitary channels
+//     this reduces to the classic random-Pauli injection; for amplitude
+//     damping it is the quantum-jump method with state-dependent branch
+//     probabilities).
+//
+// A single trajectory stays a pure state — exactly the regime where DD
+// simulation (and the paper's approximation on top of it) applies; averaging
+// over trajectories converges to the density-matrix answer, which the
+// differential tests assert.
 type NoiseModel struct {
-	// Depolarizing is the per-qubit, per-gate error probability in [0, 1).
-	Depolarizing float64
-	// Seed makes the trajectory deterministic.
+	// Kind names the channel (density.Depolarizing, density.AmplitudeDamping,
+	// density.Dephasing, density.BitFlip, density.PhaseFlip). Empty defaults
+	// to depolarizing, the historical behavior of this model.
+	Kind density.Kind
+	// P is the channel strength in [0, 1]: the per-qubit, per-gate error
+	// probability for the mixed-unitary kinds, the damping rate γ for
+	// amplitude damping.
+	P float64
+	// Seed makes trajectory branch sampling deterministic. The density
+	// backend ignores it (exact evolution has no randomness).
 	Seed int64
 }
 
-// RunTrajectory simulates one noisy trajectory of the circuit: the given
-// options run as usual, with random Pauli errors injected after every gate.
-// It returns the trajectory result and the number of injected errors.
-func (s *Simulator) RunTrajectory(c *circuit.Circuit, opts Options, noise NoiseModel) (*Result, int, error) {
-	if noise.Depolarizing < 0 || noise.Depolarizing >= 1 {
-		return nil, 0, fmt.Errorf("sim: depolarizing probability %v outside [0, 1)", noise.Depolarizing)
+// Channel materializes the model's Kraus channel, applying the depolarizing
+// default and validating the strength.
+func (n NoiseModel) Channel() (density.Channel, error) {
+	kind := n.Kind
+	if kind == "" {
+		kind = density.Depolarizing
 	}
-	if noise.Depolarizing == 0 {
+	return density.New(kind, n.P)
+}
+
+// ParseNoise builds a NoiseModel from the wire schema used by serve: a kind
+// name plus a params map holding "p" (the channel strength). Unknown kinds
+// and unknown parameter keys are errors, so request typos fail loudly
+// instead of silently simulating noiselessly.
+func ParseNoise(kind string, params map[string]float64) (NoiseModel, error) {
+	n := NoiseModel{Kind: density.Kind(kind)}
+	known := false
+	for _, k := range density.Kinds() {
+		if n.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return NoiseModel{}, fmt.Errorf("sim: unknown noise kind %q (known: %v)", kind, density.Kinds())
+	}
+	for key, v := range params {
+		switch key {
+		case "p", "gamma":
+			n.P = v
+		case "seed":
+			n.Seed = int64(v)
+		default:
+			return NoiseModel{}, fmt.Errorf("sim: unknown noise parameter %q (known: p, gamma, seed)", key)
+		}
+	}
+	if _, err := n.Channel(); err != nil {
+		return NoiseModel{}, err
+	}
+	return n, nil
+}
+
+// RunTrajectory simulates one noisy trajectory of the circuit: the given
+// options run on the statevector backend with stochastic Kraus-branch
+// sampling after every gate. It returns the trajectory result and the number
+// of non-identity branches taken (quantum jumps).
+func (s *Simulator) RunTrajectory(c *circuit.Circuit, opts Options, noise NoiseModel) (*Result, int, error) {
+	if _, err := noise.Channel(); err != nil {
+		return nil, 0, err
+	}
+	if noise.P == 0 {
 		res, err := s.Run(c, opts)
 		return res, 0, err
 	}
-	rng := rand.New(rand.NewSource(noise.Seed))
-	noisy := circuit.New(c.NumQubits, c.Name+"_noisy")
-	errs := 0
-	paulis := []string{"x", "y", "z"}
-	for _, g := range c.Gates() {
-		noisy.Append(g)
-		for _, q := range gateTouches(g) {
-			if rng.Float64() < noise.Depolarizing {
-				noisy.Apply(paulis[rng.Intn(3)], nil, q)
-				errs++
-			}
-		}
+	opts.Backend = BackendStatevector
+	opts.Noise = &noise
+	res, err := s.Run(c, opts)
+	if err != nil {
+		return nil, 0, err
 	}
-	res, err := s.Run(noisy, opts)
-	return res, errs, err
+	return res, res.ChannelApplications, nil
 }
 
 // TrajectoryFidelity estimates the channel fidelity at the given noise level
 // by averaging |⟨ideal|trajectory⟩|² over `trajectories` runs. The ideal
-// state is simulated exactly once in the same manager.
+// state is simulated exactly once in the same manager. The density backend
+// computes the same quantity — ⟨ideal|ρ|ideal⟩ — exactly in a single run;
+// this Monte-Carlo estimator converges to it at the usual 1/√N rate.
 func TrajectoryFidelity(c *circuit.Circuit, noise NoiseModel, trajectories int) (float64, error) {
 	if trajectories < 1 {
 		return 0, fmt.Errorf("sim: need at least one trajectory")
@@ -77,6 +130,8 @@ func TrajectoryFidelity(c *circuit.Circuit, noise NoiseModel, trajectories int) 
 	return sum / float64(trajectories), nil
 }
 
+// gateTouches lists the qubits a gate acts on — the qubits that suffer noise
+// after it under either backend.
 func gateTouches(g circuit.Gate) []int {
 	var qs []int
 	switch g.Kind {

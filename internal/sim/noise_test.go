@@ -24,13 +24,13 @@ func TestZeroNoiseIsExact(t *testing.T) {
 
 func TestNoiseValidation(t *testing.T) {
 	s := New()
-	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{Depolarizing: 1.5}); err == nil {
+	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{P: 1.5}); err == nil {
 		t.Error("p > 1 accepted")
 	}
-	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{Depolarizing: -0.1}); err == nil {
+	if _, _, err := s.RunTrajectory(gen.GHZ(3), Options{}, NoiseModel{P: -0.1}); err == nil {
 		t.Error("p < 0 accepted")
 	}
-	if _, err := TrajectoryFidelity(gen.GHZ(3), NoiseModel{Depolarizing: 0.01}, 0); err == nil {
+	if _, err := TrajectoryFidelity(gen.GHZ(3), NoiseModel{P: 0.01}, 0); err == nil {
 		t.Error("zero trajectories accepted")
 	}
 }
@@ -38,7 +38,7 @@ func TestNoiseValidation(t *testing.T) {
 func TestNoiseInjectsErrorsDeterministically(t *testing.T) {
 	c := gen.RandomCliffordT(4, 80, 1)
 	s1 := New()
-	_, errs1, err := s1.RunTrajectory(c, Options{}, NoiseModel{Depolarizing: 0.05, Seed: 9})
+	_, errs1, err := s1.RunTrajectory(c, Options{}, NoiseModel{P: 0.05, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestNoiseInjectsErrorsDeterministically(t *testing.T) {
 		t.Fatal("no errors injected at p=0.05 over ~120 gate-qubit slots")
 	}
 	s2 := New()
-	_, errs2, err := s2.RunTrajectory(c, Options{}, NoiseModel{Depolarizing: 0.05, Seed: 9})
+	_, errs2, err := s2.RunTrajectory(c, Options{}, NoiseModel{P: 0.05, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +57,11 @@ func TestNoiseInjectsErrorsDeterministically(t *testing.T) {
 
 func TestTrajectoryFidelityDecreasesWithNoise(t *testing.T) {
 	c := gen.GHZ(6)
-	fLow, err := TrajectoryFidelity(c, NoiseModel{Depolarizing: 0.002, Seed: 1}, 12)
+	fLow, err := TrajectoryFidelity(c, NoiseModel{P: 0.002, Seed: 1}, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fHigh, err := TrajectoryFidelity(c, NoiseModel{Depolarizing: 0.2, Seed: 1}, 12)
+	fHigh, err := TrajectoryFidelity(c, NoiseModel{P: 0.2, Seed: 1}, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestNoisyTrajectoryWithApproximation(t *testing.T) {
 	s := New()
 	res, _, err := s.RunTrajectory(c, Options{
 		Strategy: &core.MemoryDriven{Threshold: 16, RoundFidelity: 0.97},
-	}, NoiseModel{Depolarizing: 0.01, Seed: 2})
+	}, NoiseModel{P: 0.01, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,3 +77,15 @@ func WithCleanupHighWater(n int) Option {
 func WithKeepAlive(edges ...dd.VEdge) Option {
 	return func(o *Options) { o.KeepAlive = append(o.KeepAlive, edges...) }
 }
+
+// WithBackend selects the state representation (statevector or density).
+func WithBackend(b Backend) Option {
+	return func(o *Options) { o.Backend = b }
+}
+
+// WithNoise applies the named noise channel to every qubit each gate
+// touches — exactly on the density backend, as one Monte-Carlo trajectory
+// on the statevector backend.
+func WithNoise(n NoiseModel) Option {
+	return func(o *Options) { o.Noise = &n }
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/density"
 	"repro/internal/order"
 )
 
@@ -51,6 +52,15 @@ type Session struct {
 	state     dd.VEdge
 	next      int // index of the next gate to apply
 	highWater int
+
+	// Backend seam (see backend.go). den is non-nil on the density backend;
+	// channel/chanDDs/noiseRNG are populated when Options.Noise is active:
+	// the lifted per-qubit Kraus operator DDs (cleanup mark roots) and the
+	// trajectory branch RNG (statevector backend only).
+	den      *density.State
+	channel  density.Channel
+	chanDDs  [][]dd.MEdge
+	noiseRNG *rand.Rand
 
 	// Dynamic reordering (populated when the strategy implements
 	// core.Reorderer with Sift enabled; see maybeSift).
@@ -161,18 +171,22 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 	}
 
 	startLookups, startHits := m.CN.Stats()
-	state := m.BasisState(c.NumQubits, opts.InitialState)
+	backend := opts.Backend
+	if backend == "" {
+		backend = BackendStatevector
+	}
 	res := &Result{
 		Manager:      m,
 		NumQubits:    c.NumQubits,
 		GateCount:    c.Len(),
 		StrategyName: strategy.Name(),
 		InitialOrder: initialOrder,
+		Backend:      backend,
+		Noise:        opts.Noise,
 	}
 	if opts.CollectSizeHistory {
 		res.SizeHistory = make([]int, 0, c.Len())
 	}
-	res.MaxDDSize = m.CountV(state)
 
 	// Invalidate the simulator's retained gate cache: stale operation DDs
 	// from an earlier run can never leak in, but the signature slots (and
@@ -189,12 +203,22 @@ func (ses *Session) init(s *Simulator, c *circuit.Circuit, opts Options) error {
 		res:          res,
 		ctx:          ctx,
 		cancel:       cancel,
-		state:        state,
 		highWater:    highWater,
 		start:        time.Now(),
 		startLookups: startLookups,
 		startHits:    startHits,
 	}
+	// Backend-specific state: the density matrix (or the vector initial
+	// state) and any lifted noise-channel DDs. Built after the variable
+	// order is settled above, since lifted operators address DD levels
+	// through the current order.
+	if err := ses.initBackend(m, c, opts); err != nil {
+		return fail(err)
+	}
+	if ses.den == nil {
+		ses.state = m.BasisState(c.NumQubits, opts.InitialState)
+	}
+	res.MaxDDSize = ses.curSize()
 	if hasReorder && policy.Sift {
 		ses.sift = true
 		ses.siftThreshold = policy.SiftThreshold
@@ -217,10 +241,15 @@ func (ses *Session) Pos() int { return ses.next }
 // Remaining returns the number of gates not yet applied.
 func (ses *Session) Remaining() int { return ses.c.Len() - ses.next }
 
-// State returns the current state DD. The edge is live only while the
-// session's manager performs no further gates or cleanups; copy amplitudes
-// out (Manager.ToVector) before stepping on if you need them to persist.
+// State returns the current state DD (statevector backend; the zero edge on
+// the density backend). The edge is live only while the session's manager
+// performs no further gates or cleanups; copy amplitudes out
+// (Manager.ToVector) before stepping on if you need them to persist.
 func (ses *Session) State() dd.VEdge { return ses.state }
+
+// Density returns the current density-matrix state (density backend only;
+// nil otherwise). The same liveness caveat as State applies.
+func (ses *Session) Density() *density.State { return ses.den }
 
 // Err returns the sticky error that ended the session early, if any.
 func (ses *Session) Err() error { return ses.err }
@@ -302,9 +331,18 @@ func (ses *Session) Finish() (*Result, error) {
 	ses.finished = true
 	ses.release()
 	res := ses.res
-	res.Final = ses.state
 	m := ses.sim.M
-	res.FinalDDSize = m.CountV(ses.state)
+	if ses.den != nil {
+		// Absorb accumulated float drift so downstream probability reads
+		// sum to 1, then snapshot the mixedness of the final state.
+		ses.den.NormalizeTrace()
+		res.Density = ses.den
+		res.Purity = ses.den.Purity()
+		res.FinalDDSize = m.CountM(ses.den.Root)
+	} else {
+		res.Final = ses.state
+		res.FinalDDSize = m.CountV(ses.state)
+	}
 	if res.InitialOrder != nil {
 		res.FinalOrder = m.Order(res.NumQubits)
 	}
@@ -340,7 +378,7 @@ func (ses *Session) Abort() {
 	}
 	ses.err = ErrSessionAborted
 	ses.release()
-	finalSize := ses.sim.M.CountV(ses.state) // before the sweep frees these nodes
+	finalSize := ses.curSize() // before the sweep frees these nodes
 	ses.sim.M.Cleanup(ses.opts.KeepAlive, nil)
 	ses.obs.OnFinish(core.FinishEvent{
 		GatesApplied:      ses.next,
@@ -360,7 +398,7 @@ func (ses *Session) fail(err error) error {
 	ses.obs.OnFinish(core.FinishEvent{
 		GatesApplied:      ses.next,
 		MaxDDSize:         ses.res.MaxDDSize,
-		FinalDDSize:       ses.sim.M.CountV(ses.state),
+		FinalDDSize:       ses.curSize(),
 		Rounds:            ses.tracker.Count(),
 		EstimatedFidelity: ses.tracker.Achieved(),
 		Err:               err,
@@ -379,6 +417,9 @@ func (ses *Session) release() {
 // step applies gate ses.next: the single between-gate interruption check,
 // the gate itself, strategy consultation, and occupancy-triggered cleanup.
 func (ses *Session) step() error {
+	if ses.den != nil {
+		return ses.stepDensity()
+	}
 	i := ses.next
 	c, m := ses.c, ses.sim.M
 	if ses.ctx != nil {
@@ -416,6 +457,11 @@ func (ses *Session) step() error {
 	if m.IsVZero(ses.state) {
 		return fmt.Errorf("sim: state vanished after gate %d (%s)", i, g.String())
 	}
+	if ses.chanDDs != nil {
+		if err := ses.injectNoise(i, g); err != nil {
+			return err
+		}
+	}
 	size := m.CountV(ses.state)
 	if size > ses.res.MaxDDSize {
 		ses.res.MaxDDSize = size
@@ -441,6 +487,9 @@ func (ses *Session) step() error {
 			if e.N != nil {
 				mRoots = append(mRoots, e)
 			}
+		}
+		for _, ops := range ses.chanDDs {
+			mRoots = append(mRoots, ops...)
 		}
 		ses.sim.mRoots = mRoots
 		m.Cleanup(roots, mRoots)
@@ -480,6 +529,10 @@ func (ses *Session) maybeSift(gateIdx, size int, approximated bool) {
 	roots, rep := m.Sift(ses.c.NumQubits, []dd.VEdge{ses.state}, ses.siftCfg)
 	ses.state = roots[0]
 	ses.sim.clearGateCache()
+	// Lifted channel DDs were built under the old order; rebuild them.
+	for q := range ses.chanDDs {
+		ses.chanDDs[q] = ses.channel.Lift(m, ses.c.NumQubits, q)
+	}
 	ses.res.SiftPasses++
 	ses.res.SiftSwaps += rep.Swaps
 	// Raise the trigger past the size sifting reached: if the pass could

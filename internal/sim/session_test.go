@@ -305,6 +305,8 @@ func TestSessionAbortKeepsKeepAliveRoots(t *testing.T) {
 // countingObserver records the event stream.
 type countingObserver struct {
 	gates, rounds, cleanups, reorders, finishes int
+	channels                                    int
+	lastChannel                                 core.ChannelEvent
 	lastGate                                    core.GateEvent
 	lastReorder                                 core.ReorderEvent
 	finish                                      core.FinishEvent
@@ -314,6 +316,7 @@ func (o *countingObserver) OnGate(e core.GateEvent)       { o.gates++; o.lastGat
 func (o *countingObserver) OnApproximation(r core.Round)  { o.rounds++ }
 func (o *countingObserver) OnCleanup(e core.CleanupEvent) { o.cleanups++ }
 func (o *countingObserver) OnReorder(e core.ReorderEvent) { o.reorders++; o.lastReorder = e }
+func (o *countingObserver) OnChannel(e core.ChannelEvent) { o.channels++; o.lastChannel = e }
 func (o *countingObserver) OnFinish(e core.FinishEvent)   { o.finishes++; o.finish = e }
 
 func TestObserverSeesEveryEvent(t *testing.T) {

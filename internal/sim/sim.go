@@ -10,12 +10,24 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/density"
 )
 
 // Options configures one simulation run.
 type Options struct {
 	// Strategy decides when to approximate. nil means exact simulation.
 	Strategy core.Strategy
+	// Backend selects the state representation: BackendStatevector (the
+	// default, also chosen by the empty string) evolves a pure state on a
+	// vector DD; BackendDensity evolves a density matrix on a matrix DD,
+	// which applies Noise exactly but requires exact simulation (no
+	// approximation strategy, no reordering).
+	Backend Backend
+	// Noise, when non-nil, applies the named channel to every qubit each
+	// gate touches: exactly (as a superoperator) on the density backend,
+	// as one sampled Kraus branch per application (a Monte-Carlo
+	// trajectory) on the statevector backend. nil simulates noiselessly.
+	Noise *NoiseModel
 	// InitialState selects the starting basis state |InitialState⟩.
 	InitialState uint64
 	// CollectSizeHistory records the DD size after every gate (costs memory
@@ -65,8 +77,26 @@ type Result struct {
 	// Manager owns the final state; callers use it to sample, compute
 	// amplitudes, or compare fidelities.
 	Manager *dd.Manager
-	// Final is the final state DD.
+	// Final is the final state DD (statevector backend; the zero value on
+	// the density backend, where Density holds the final state).
 	Final dd.VEdge
+	// Backend is the representation the run executed under.
+	Backend Backend
+	// Noise echoes the noise model the run was configured with (nil for a
+	// noiseless run).
+	Noise *NoiseModel
+	// Density is the final density matrix (density backend only). Like
+	// Final, it is owned by Manager and stays valid only until the next
+	// run on the same manager recycles its nodes.
+	Density *density.State
+	// Purity is Tr ρ² of the final density matrix (density backend only;
+	// 1 for a pure state, 2⁻ⁿ for the maximally mixed state).
+	Purity float64
+	// ChannelApplications counts noise applications: on the density
+	// backend every exact superoperator application (touched qubits ×
+	// gates), on the statevector backend only the sampled non-identity
+	// Kraus branches (quantum jumps).
+	ChannelApplications int
 	// NumQubits of the simulated register.
 	NumQubits int
 	// GateCount applied.

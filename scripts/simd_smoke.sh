@@ -126,10 +126,37 @@ SCORED_PEAK="$(peak_for_order scored)"
 [ -n "$IDENT_PEAK" ] && [ -n "$SCORED_PEAK" ] || fail "reorder results missing max_dd_size (identity='$IDENT_PEAK' scored='$SCORED_PEAK')"
 [ "$SCORED_PEAK" -lt "$IDENT_PEAK" ] || fail "scored ordering did not shrink the DD over HTTP (identity $IDENT_PEAK, scored $SCORED_PEAK)"
 
+# A noisy submission (noise + noise_params, no explicit backend) must run on
+# the density backend: the result carries the backend, purity, and channel
+# counters, and the event stream carries channel frames.
+NOISY='{"name":"noisy-ghz4","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\n","noise":"depolarizing","noise_params":{"p":0.05},"shots":64}'
+RESP="$(curl -sf -X POST -d "$NOISY" "$BASE/v1/jobs")" || fail "noisy submit"
+JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB" ] || fail "no job id in: $RESP"
+retry_until "$WAIT" job_done || fail "noisy job never finished within ${WAIT}s: $ST"
+RES="$(curl -sf "$BASE/v1/jobs/$JOB/result")" || fail "noisy result fetch"
+case "$RES" in
+*'"backend":"density"'*) ;;
+*) fail "noisy job did not run on the density backend: $RES" ;;
+esac
+case "$RES" in
+*'"noise":"depolarizing"'*'"purity":0.'*) ;;
+*) fail "noisy result missing noise echo or mixed-state purity: $RES" ;;
+esac
+case "$RES" in
+*'"channel_applications":'*) ;;
+*) fail "noisy result missing channel_applications: $RES" ;;
+esac
+EVENTS="$(curl -sf -N --max-time 10 "$BASE/v1/jobs/$JOB/events")" || fail "noisy events stream"
+case "$EVENTS" in
+*'event: channel'*'"kind":"depolarizing"'*) ;;
+*) fail "no channel events in noisy stream: $EVENTS" ;;
+esac
+
 # Graceful shutdown on SIGTERM.
 kill "$SIMD_PID"
 server_gone() { ! kill -0 "$SIMD_PID" 2>/dev/null; }
 retry_until "$WAIT" server_gone || fail "server did not shut down on SIGTERM within ${WAIT}s"
 trap - EXIT INT TERM
 
-echo "simd-smoke: OK (job simulated, cache hit verified, SSE + typed client round-trip passed, reorder peak $IDENT_PEAK -> $SCORED_PEAK)"
+echo "simd-smoke: OK (job simulated, cache hit verified, SSE + typed client round-trip passed, reorder peak $IDENT_PEAK -> $SCORED_PEAK, noisy density job verified)"
