@@ -1,6 +1,6 @@
-# Local dev and CI invoke the same targets (.github/workflows/ci.yml runs
-# `make fmt-check vet build race`), so a green `make ci` locally means a
-# green pipeline.
+# Local dev and CI invoke the same targets (.github/workflows/ci.yml fans
+# the `ci` target's steps out across parallel lint / build-test / bench /
+# smoke jobs), so a green `make ci` locally means a green pipeline.
 
 GO ?= go
 
@@ -25,7 +25,7 @@ BENCH_CLUSTER_THRESHOLD ?= 0.25
 # measured when the gate landed (PR 8); cover-check fails below this floor.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all build test race bench bench-smoke bench-check bench-baseline bench-cluster bench-cluster-baseline examples fmt fmt-check vet doc-lint simd-smoke cluster-smoke fuzz-smoke cover-check ci
+.PHONY: all build test race bench bench-smoke bench-check bench-baseline bench-cluster bench-cluster-baseline examples fmt fmt-check vet doc-lint atlas atlas-check simd-smoke cluster-smoke fuzz-smoke cover-check ci
 
 all: build
 
@@ -134,12 +134,11 @@ doc-lint:
 	if [ "$$fail" -ne 0 ]; then exit 1; fi; \
 	echo "doc-lint: all packages and commands documented"
 
-## fuzz-smoke: run each native fuzz target briefly (~10s each) so CI keeps
-## exercising the mutation engines, not just the committed corpus
+## fuzz-smoke: run every native fuzz target concurrently under one shared
+## wall-clock budget (FUZZ_SMOKE_BUDGET, default 10s) so CI keeps exercising
+## the mutation engines without paying 10s per target serially
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz '^FuzzApproximate$$' -fuzztime 10s ./internal/core
-	$(GO) test -run '^$$' -fuzz '^FuzzQASMParse$$' -fuzztime 10s ./internal/qasm
-	$(GO) test -run '^$$' -fuzz '^FuzzKrausChannel$$' -fuzztime 10s ./internal/density
+	sh scripts/fuzz_smoke.sh
 
 ## cover-check: measure combined internal/core + internal/dd +
 ## internal/dense + internal/density statement coverage into coverage.out
@@ -150,6 +149,18 @@ cover-check:
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
 		if (t+0 < floor+0) { printf "cover-check: core+dd+dense+density coverage %.1f%% below floor %.1f%%\n", t, floor; exit 1 } \
 		printf "cover-check: core+dd+dense+density coverage %.1f%% (floor %.1f%%)\n", t, floor }'
+
+## atlas: regenerate the approximability atlas — docs/ATLAS.md (committed),
+## internal/atlas/winners_gen.go (committed, drives strategy=auto), and
+## BENCH_atlas.json (gitignored runtime artifact)
+atlas:
+	$(GO) run ./cmd/atlas
+
+## atlas-check: regenerate the atlas from the seeded sweeps and fail if the
+## committed docs/ATLAS.md or winners table drifted (the CI gate keeping
+## strategy=auto honest against the measured grid)
+atlas-check:
+	$(GO) run ./cmd/atlas -check
 
 ## simd-smoke: build the simulation service, boot it, and run a QASM job
 ## end-to-end including a cache-hit resubmission (the CI gate)
@@ -163,4 +174,4 @@ cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
 ## ci: everything the pipeline runs, in order
-ci: fmt-check vet doc-lint build examples race fuzz-smoke cover-check simd-smoke cluster-smoke
+ci: fmt-check vet doc-lint build examples race fuzz-smoke cover-check atlas-check simd-smoke cluster-smoke

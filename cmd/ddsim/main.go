@@ -2,11 +2,14 @@
 //
 // The circuit comes from an OpenQASM 2.0 file (-qasm) or a builtin generator
 // (-gen). Strategies: none (exact), mem (memory-driven), fid
-// (fidelity-driven).
+// (fidelity-driven), auto (classify the circuit's gate mix and install the
+// committed approximability-atlas winner for its workload class — see
+// docs/ATLAS.md).
 //
 // Examples:
 //
 //	ddsim -gen qft:12 -shots 8
+//	ddsim -gen qaoa:10:2:1 -strategy auto
 //	ddsim -gen grover:10:333 -strategy fid -ffinal 0.8 -fround 0.95
 //	ddsim -qasm circuit.qasm -optimize -strategy mem -threshold 4096 -fround 0.99
 //	ddsim -gen qsup:3x4:16 -strategy mem -threshold 1024 -growth 1.05 -trace
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/atlas"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
@@ -51,8 +56,8 @@ import (
 
 func main() {
 	qasmPath := flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
-	genSpec := flag.String("gen", "", "builtin generator: qft:N | iqft:N | ghz:N | w:N | grover:N[:marked] | bv:N[:secret] | random:N:GATES[:seed] | qsup:RxC:DEPTH[:seed]")
-	strategy := flag.String("strategy", "none", "approximation strategy: none, mem, fid")
+	genSpec := flag.String("gen", "", "builtin generator: qft:N | iqft:N | ghz:N | w:N | grover:N[:marked] | bv:N[:secret] | random:N:GATES[:seed] | qsup:RxC:DEPTH[:seed] | qaoa:N[:P[:seed]] | vqe:N[:L[:topo[:seed]]] | cliffordt:N[:GATES[:TCOUNT[:seed]]]")
+	strategy := flag.String("strategy", "none", "approximation strategy: none, mem, fid, auto")
 	threshold := flag.Int("threshold", 4096, "memory-driven node threshold")
 	growth := flag.Float64("growth", 2, "memory-driven threshold growth factor")
 	fround := flag.Float64("fround", 0.99, "per-round target fidelity")
@@ -120,6 +125,22 @@ func main() {
 		}
 	case "fid":
 		opts.Strategy = core.NewFidelityDriven(*ffinal, *fround)
+	case "auto":
+		// Classify the circuit by gate mix and install the committed
+		// approximability-atlas winner for its workload class — the same
+		// resolution serve applies to strategy=auto submissions.
+		class := gen.Classify(circ)
+		win := atlas.Resolve(class)
+		st, err := core.NewStrategyByName(win.Strategy, json.RawMessage(win.Params))
+		if err != nil {
+			fatal(err)
+		}
+		opts.Strategy = st
+		label := win.Base
+		if win.Params != "" {
+			label += " " + win.Params
+		}
+		fmt.Printf("auto:       class=%s -> %s (order=%s)\n", class, label, win.Order)
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}

@@ -2,8 +2,9 @@
 // Table I (both halves) at the chosen scale, the hyper-parameter sweeps
 // (E8/E9), the paper's worked examples (E3/E7), the Lemma 1 / fidelity
 // tracking validation (E6), and the noisy-fidelity comparison of the
-// density-matrix backend against quantum-trajectory sampling (E12), as one
-// markdown report on stdout.
+// density-matrix backend against quantum-trajectory sampling (E12), and the
+// approximability-atlas winner table behind serving's strategy=auto (E13),
+// as one markdown report on stdout.
 //
 // Usage:
 //
@@ -61,6 +62,7 @@ func main() {
 	report("E11 — delete-vs-replace fidelity/size frontier", func() error { return replaceFrontier(runOpts) })
 	report("E6 — fidelity tracking validation", fidelityTracking)
 	report("E12 — noisy fidelity: density backend vs quantum trajectories", noisyFidelity)
+	report("E13 — approximability atlas (per-class strategy × ordering winners)", func() error { return atlasWinners(runOpts) })
 	report("E5 — Shor at 50% fidelity", shorHalfFidelity)
 	if *verbose {
 		report("DD memory system — per-cache and pool statistics", memorySystemStats)
@@ -188,6 +190,16 @@ func replaceFrontier(opts benchtab.SweepOptions) error {
 		return err
 	}
 	fmt.Print(benchtab.FormatFrontierMarkdown(points))
+	return nil
+}
+
+func atlasWinners(opts benchtab.RunOptions) error {
+	a, err := benchtab.SweepAtlas(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchtab.FormatAtlasMarkdown(a))
+	fmt.Println("\nFull grid: docs/ATLAS.md (regenerate with `make atlas`; serving's strategy=auto resolves from this table).")
 	return nil
 }
 

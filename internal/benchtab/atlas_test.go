@@ -1,0 +1,118 @@
+package benchtab
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// TestAtlasWorkloadsClassifyToTheirOwnClass pins the contract the auto
+// strategy depends on: each class's representative circuit must be
+// classified back to the class key it is filed under, or serving would
+// resolve a different row than the sweep measured.
+func TestAtlasWorkloadsClassifyToTheirOwnClass(t *testing.T) {
+	workloads, err := AtlasWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) < 7 {
+		t.Fatalf("atlas covers %d classes, want at least 7", len(workloads))
+	}
+	seen := map[string]bool{}
+	for _, w := range workloads {
+		if seen[w.Class] {
+			t.Errorf("class %q appears twice", w.Class)
+		}
+		seen[w.Class] = true
+		if got := gen.Classify(w.Circuit); got != w.Class {
+			t.Errorf("%s representative %q classified as %q", w.Class, w.Circuit.Name, got)
+		}
+	}
+}
+
+// TestAtlasGridConfigsInstantiate feeds every grid configuration through
+// the strategy registry exactly as SweepAtlas does, so a malformed params
+// template fails here instead of panicking inside a batch worker.
+func TestAtlasGridConfigsInstantiate(t *testing.T) {
+	for _, exactMax := range []int{10, 100, 1000} {
+		grid := atlasGrid(exactMax)
+		if len(grid) != 21 {
+			t.Fatalf("exactMax=%d: grid has %d cells, want 21", exactMax, len(grid))
+		}
+		for _, cfg := range grid {
+			if _, err := core.NewStrategyByName(cfg.registry, json.RawMessage(cfg.params)); err != nil {
+				t.Errorf("exactMax=%d: (%s, %s): %v", exactMax, cfg.registry, cfg.params, err)
+			}
+		}
+	}
+}
+
+func TestWrapOrder(t *testing.T) {
+	direct := wrapOrder("memory", `{"threshold":32}`, order.Identity)
+	if direct.registry != "memory" || direct.params != `{"threshold":32}` {
+		t.Errorf("identity wrap changed the config: %+v", direct)
+	}
+	wrapped := wrapOrder("memory", `{"threshold":32}`, order.Scored)
+	if wrapped.registry != "reorder" {
+		t.Errorf("scored wrap registry %q, want reorder", wrapped.registry)
+	}
+	if want := `{"order":"scored","inner":"memory","inner_params":{"threshold":32}}`; wrapped.params != want {
+		t.Errorf("scored wrap params %s, want %s", wrapped.params, want)
+	}
+	exact := wrapOrder("exact", "", order.Reversed)
+	if exact.registry != "reorder" || exact.params != `{"order":"reversed"}` {
+		t.Errorf("exact reversed wrap: %+v", exact)
+	}
+}
+
+func TestPickAtlasWinner(t *testing.T) {
+	eligibleSmall := AtlasCell{Strategy: "memory", Fidelity: 0.95, MaxDD: 40}
+	eligibleBig := AtlasCell{Strategy: "exact", Fidelity: 1.0, MaxDD: 100}
+	ineligible := AtlasCell{Strategy: "replace", Fidelity: 0.50, MaxDD: 5}
+	if win := pickAtlasWinner([]AtlasCell{eligibleBig, ineligible, eligibleSmall}); win != eligibleSmall {
+		t.Errorf("winner %+v, want the eligible cell with the smallest peak", win)
+	}
+	// No cell clears the floor: highest fidelity wins regardless of size.
+	low := AtlasCell{Strategy: "replace", Fidelity: 0.70, MaxDD: 5}
+	high := AtlasCell{Strategy: "memory", Fidelity: 0.85, MaxDD: 80}
+	if win := pickAtlasWinner([]AtlasCell{low, high}); win != high {
+		t.Errorf("winner %+v, want the highest-fidelity ineligible cell", win)
+	}
+	// Equal peaks: higher fidelity breaks the tie.
+	a := AtlasCell{Strategy: "memory", Fidelity: 0.92, MaxDD: 40}
+	b := AtlasCell{Strategy: "fidelity", Fidelity: 0.98, MaxDD: 40}
+	if win := pickAtlasWinner([]AtlasCell{a, b}); win != b {
+		t.Errorf("winner %+v, want the higher-fidelity cell at equal peak", win)
+	}
+}
+
+// TestSweepAtlasDeterministicAcrossWorkers runs the sweep at smoke scale
+// twice (serial and parallel) on downsized workloads via the real entry
+// point and compares the deterministic projection byte for byte.
+func TestSweepAtlasDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("atlas sweep is seconds-long; skipped with -short")
+	}
+	serial, err := SweepAtlas(context.Background(), RunOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepAtlas(context.Background(), RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FormatAtlasMarkdown(serial) + FormatAtlasGridMarkdown(serial)
+	b := FormatAtlasMarkdown(parallel) + FormatAtlasGridMarkdown(parallel)
+	if a != b {
+		t.Error("atlas output differs between 1 and 4 workers")
+	}
+	for _, r := range serial.Rows {
+		if len(serial.Cells) == 0 || r.Cells != 21 {
+			t.Errorf("%s: %d cells, want 21", r.Class, r.Cells)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package gen
+
+import "repro/internal/circuit"
+
+// Workload class keys. These are the row keys of the approximability atlas
+// (internal/atlas, docs/ATLAS.md): Classify maps an arbitrary circuit onto
+// one of them so serve's strategy=auto can install the per-class winner.
+const (
+	ClassQFT       = "qft"       // controlled-phase ladders: QFT, IQFT, QPE
+	ClassGrover    = "grover"    // multi-controlled oracles: Grover, DJ, adders
+	ClassSupremacy = "supremacy" // √X/√Y + CZ random circuits
+	ClassQAOA      = "qaoa"      // RX mixer + ZZ cost layers
+	ClassVQE       = "vqe"       // RY/RZ rotation + CX entangler ansätze
+	ClassCliffordT = "cliffordt" // discrete Clifford(+T) gate soups
+	ClassPairs     = "pairs"     // H+CX entangling (GHZ/graph-state-like)
+	ClassGeneric   = "generic"   // anything else
+)
+
+// Fingerprint is the gate-mix summary Classify decides on. Counts split by
+// control arity because the builder reuses base names for controlled forms
+// (CX is "x" with one control, CP is "p" with one control).
+type Fingerprint struct {
+	Qubits, Gates int
+
+	// Uncontrolled single-qubit counts.
+	H, T, S, SqrtXY, RX, RY, RZ, Phase, Pauli int
+	// Singly-controlled counts.
+	CX, CZ, CPhase int
+	// MultiCtrl counts gates with two or more controls.
+	MultiCtrl int
+	// Other counts everything not binned above (permutations included).
+	Other int
+}
+
+// FingerprintOf summarizes a circuit's gate mix.
+func FingerprintOf(c *circuit.Circuit) Fingerprint {
+	f := Fingerprint{Qubits: c.NumQubits, Gates: c.Len()}
+	for _, g := range c.Gates() {
+		switch {
+		case len(g.Controls) >= 2:
+			f.MultiCtrl++
+		case len(g.Controls) == 1:
+			switch g.Name {
+			case "x":
+				f.CX++
+			case "z":
+				f.CZ++
+			case "p":
+				f.CPhase++
+			default:
+				f.Other++
+			}
+		default:
+			switch g.Name {
+			case "h":
+				f.H++
+			case "t", "tdg":
+				f.T++
+			case "s", "sdg":
+				f.S++
+			case "sx", "sy":
+				f.SqrtXY++
+			case "rx":
+				f.RX++
+			case "ry":
+				f.RY++
+			case "rz":
+				f.RZ++
+			case "p":
+				f.Phase++
+			case "x", "y", "z":
+				f.Pauli++
+			default:
+				f.Other++
+			}
+		}
+	}
+	return f
+}
+
+// Class maps the fingerprint onto a workload class. The rules mirror how
+// the generators in this package compile their families (most structurally
+// specific first), so generated instances always land in their own class;
+// hand-written circuits land in the structurally closest one.
+func (f Fingerprint) Class() string {
+	switch {
+	case f.Gates == 0:
+		return ClassGeneric
+	case f.MultiCtrl > 0:
+		// Multi-controlled oracles/diffusers: Grover, Deutsch–Jozsa, adders.
+		return ClassGrover
+	case f.SqrtXY > 0 && f.CZ > 0:
+		// √X/√Y between CZ layers is the supremacy-style signature.
+		return ClassSupremacy
+	case f.CPhase > 0 && f.H > 0 && 4*f.CPhase >= f.Gates:
+		// Controlled-phase ladders dominate QFT-shaped circuits.
+		return ClassQFT
+	case f.RX > 0 && f.RZ > 0 && f.CX > 0 && f.RY == 0:
+		// ZZ cost terms (CX·RZ·CX) plus an RX mixer.
+		return ClassQAOA
+	case f.RY > 0 && f.RZ > 0 && f.CX > 0 && f.RX == 0:
+		// RY/RZ rotation layers with CX entanglers.
+		return ClassVQE
+	case f.T+f.S > 0 && f.RX+f.RY+f.RZ+f.Phase+f.CPhase+f.SqrtXY == 0:
+		// Discrete Clifford(+T) basis, no continuous rotations. Covers both
+		// T-carrying instances and the TCount=0 pure-stabilizer soups.
+		return ClassCliffordT
+	case f.H > 0 && f.CX > 0 && f.H+f.CX+f.Pauli == f.Gates:
+		// Pure H+CX(+Pauli) entangling: GHZ, Bell pairs, graph states.
+		return ClassPairs
+	default:
+		return ClassGeneric
+	}
+}
+
+// Classify returns the workload class of a circuit.
+func Classify(c *circuit.Circuit) string { return FingerprintOf(c).Class() }

@@ -1,0 +1,45 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/supremacy"
+)
+
+func TestClassifyGeneratedFamilies(t *testing.T) {
+	sup, err := supremacy.Config{Rows: 3, Cols: 3, Depth: 10, Seed: 0}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := circuit.New(8, "pairs")
+	for i := 0; i < 4; i++ {
+		pairs.H(i)
+		pairs.CX(i, i+4)
+	}
+	cases := []struct {
+		circ *circuit.Circuit
+		want string
+	}{
+		{QFT(10), ClassQFT},
+		{InverseQFT(8), ClassQFT},
+		{PhaseEstimation(5, 0.125), ClassQFT},
+		{Grover(8, 0b1011, 2), ClassGrover},
+		{RippleCarryAdder(3, 2, 5), ClassGrover},
+		{sup, ClassSupremacy},
+		{QAOAMaxCut(10, 2, 1), ClassQAOA},
+		{VQEAnsatz(10, 3, VQELinear, 1), ClassVQE},
+		{CliffordT(10, 200, 40, 1), ClassCliffordT},
+		{CliffordT(10, 200, 0, 1), ClassCliffordT},
+		{RandomCliffordT(8, 100, 1), ClassCliffordT},
+		{pairs, ClassPairs},
+		{GHZ(8), ClassPairs},
+		{circuit.New(4, "empty"), ClassGeneric},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.circ); got != tc.want {
+			t.Errorf("%s: classified %q, want %q (fingerprint %+v)",
+				tc.circ.Name, got, tc.want, FingerprintOf(tc.circ))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// CliffordTConfig describes a seeded random Clifford+T circuit with an
+// exact T-count: TCount of the Gates positions (chosen by the seed) carry a
+// T or T† gate, every other position carries a uniformly drawn Clifford
+// gate from {H, S, S†, X, Z, CX}. TCount = 0 yields a pure Clifford
+// (stabilizer) circuit, which any exact simulator — and the DD backend —
+// handles without approximation pressure; the T-count knob dials in the
+// "magic" that makes instances hard. Block boundaries are inserted every
+// ⌈Gates/8⌉ gates so round-placing strategies have interior anchors.
+type CliffordTConfig struct {
+	// Qubits is the register width, 1..32.
+	Qubits int
+	// Gates is the total gate count, 0..100000.
+	Gates int
+	// TCount is the exact number of T/T† gates, 0..Gates.
+	TCount int
+	// Seed drives gate sampling; the same seed reproduces the same circuit.
+	Seed int64
+}
+
+// Generate builds the circuit.
+func (c CliffordTConfig) Generate() (*circuit.Circuit, error) {
+	if c.Qubits < 1 || c.Qubits > 32 {
+		return nil, fmt.Errorf("gen: cliffordt qubits %d outside 1..32", c.Qubits)
+	}
+	if c.Gates < 0 || c.Gates > 100000 {
+		return nil, fmt.Errorf("gen: cliffordt gates %d outside 0..100000", c.Gates)
+	}
+	if c.TCount < 0 || c.TCount > c.Gates {
+		return nil, fmt.Errorf("gen: cliffordt t-count %d outside 0..%d", c.TCount, c.Gates)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	// Pick the T positions first so the same seed pins them regardless of
+	// what the Clifford draws consume from the stream.
+	tPos := make(map[int]bool, c.TCount)
+	if c.TCount > 0 {
+		perm := rng.Perm(c.Gates)[:c.TCount]
+		sort.Ints(perm)
+		for _, p := range perm {
+			tPos[p] = true
+		}
+	}
+	circ := circuit.New(c.Qubits, fmt.Sprintf("cliffordt_n%d_g%d_t%d_s%d", c.Qubits, c.Gates, c.TCount, c.Seed))
+	blockEvery := c.Gates / 8
+	if blockEvery < 1 {
+		blockEvery = 1
+	}
+	for i := 0; i < c.Gates; i++ {
+		if tPos[i] {
+			if rng.Intn(2) == 0 {
+				circ.T(rng.Intn(c.Qubits))
+			} else {
+				circ.Tdg(rng.Intn(c.Qubits))
+			}
+		} else {
+			kinds := 6
+			if c.Qubits == 1 {
+				kinds = 5 // no CX on a single qubit
+			}
+			switch rng.Intn(kinds) {
+			case 0:
+				circ.H(rng.Intn(c.Qubits))
+			case 1:
+				circ.S(rng.Intn(c.Qubits))
+			case 2:
+				circ.Sdg(rng.Intn(c.Qubits))
+			case 3:
+				circ.X(rng.Intn(c.Qubits))
+			case 4:
+				circ.Z(rng.Intn(c.Qubits))
+			default:
+				a := rng.Intn(c.Qubits)
+				b := rng.Intn(c.Qubits)
+				for b == a {
+					b = rng.Intn(c.Qubits)
+				}
+				circ.CX(a, b)
+			}
+		}
+		if (i+1)%blockEvery == 0 {
+			circ.EndBlock()
+		}
+	}
+	return circ, nil
+}
+
+// CliffordT builds a seeded random Clifford+T circuit with exactly tCount
+// T/T† gates among gates total. It panics on out-of-range arguments; use
+// CliffordTConfig.Generate for error returns.
+func CliffordT(qubits, gates, tCount int, seed int64) *circuit.Circuit {
+	c, err := CliffordTConfig{Qubits: qubits, Gates: gates, TCount: tCount, Seed: seed}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,29 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFromSpec holds FromSpec's no-panic contract: any spec string either
+// builds a circuit or returns an error. Specs are length-capped so the
+// mutation engine explores grammar, not gate-count scaling.
+func FuzzFromSpec(f *testing.F) {
+	for _, seed := range []string{
+		"qft:8", "iqft:4", "ghz:6", "w:5", "grover:6:3", "bv:7:11", "dj:5:2",
+		"qpe:4:1:8", "adder:3:2:5", "random:6:50:1", "qsup:3x3:8:0",
+		"qaoa:8:2:3", "vqe:6:2:full:1", "cliffordt:6:40:8:2",
+		"qft", "qft:", "qaoa:::", "bogus:1", "qsup:3x:5", "adder:21",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 40 || strings.ContainsAny(spec, "\x00") {
+			t.Skip()
+		}
+		c, err := FromSpec(spec)
+		if err == nil && c == nil {
+			t.Fatalf("FromSpec(%q) returned nil circuit and nil error", spec)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Edge is one undirected graph edge of a QAOA MaxCut instance, with A < B.
+type Edge struct{ A, B int }
+
+// QAOAConfig describes a QAOA MaxCut circuit on a seeded Erdős–Rényi
+// random graph G(n, p). Each of the Layers QAOA layers applies the cost
+// unitary exp(-iγ_k Σ_edges Z_a Z_b / 2) — compiled per edge as
+// CX·RZ(2γ_k)·CX — followed by the mixer exp(-iβ_k Σ_q X_q) as RX(2β_k)
+// on every qubit. A block boundary closes the initial H layer and every
+// QAOA layer, so fidelity-driven rounds land between layers.
+type QAOAConfig struct {
+	// Nodes is the graph size (one qubit per node), 1..32.
+	Nodes int
+	// Layers is the QAOA depth p, 1..99.
+	Layers int
+	// EdgeProb is the G(n, p) edge probability; 0 means the 0.5 default.
+	EdgeProb float64
+	// Gammas and Betas are the per-layer cost/mixer angles. Nil selects the
+	// deterministic linear-ramp schedule (γ ramps up to π/2, β ramps down
+	// from π/4 — the INTERP-style heuristic initialization). When set, both
+	// must have length Layers.
+	Gammas, Betas []float64
+	// Seed drives graph sampling; the same seed reproduces the same circuit.
+	Seed int64
+}
+
+// Graph returns the instance's edge list: every pair (i, j) with i < j is
+// included with probability EdgeProb, drawn in row-major pair order from a
+// generator seeded with Seed, so the edge list is a pure function of
+// (Nodes, EdgeProb, Seed).
+func (c QAOAConfig) Graph() []Edge {
+	p := c.EdgeProb
+	if p == 0 {
+		p = 0.5
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var edges []Edge
+	for i := 0; i < c.Nodes; i++ {
+		for j := i + 1; j < c.Nodes; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+// Schedule returns the per-layer (γ, β) angles: the explicit Gammas/Betas
+// when set, otherwise the deterministic linear-ramp default.
+func (c QAOAConfig) Schedule() (gammas, betas []float64) {
+	if c.Gammas != nil && c.Betas != nil {
+		return c.Gammas, c.Betas
+	}
+	gammas = make([]float64, c.Layers)
+	betas = make([]float64, c.Layers)
+	for k := 0; k < c.Layers; k++ {
+		frac := (float64(k) + 0.5) / float64(c.Layers)
+		gammas[k] = frac * math.Pi / 2
+		betas[k] = (1 - frac) * math.Pi / 4
+	}
+	return gammas, betas
+}
+
+// Generate builds the circuit. Gate count: Nodes + Layers·(3·|E| + Nodes).
+func (c QAOAConfig) Generate() (*circuit.Circuit, error) {
+	if c.Nodes < 1 || c.Nodes > 32 {
+		return nil, fmt.Errorf("gen: qaoa nodes %d outside 1..32", c.Nodes)
+	}
+	if c.Layers < 1 || c.Layers > 99 {
+		return nil, fmt.Errorf("gen: qaoa layers %d outside 1..99", c.Layers)
+	}
+	if c.EdgeProb < 0 || c.EdgeProb > 1 {
+		return nil, fmt.Errorf("gen: qaoa edge probability %v outside [0, 1]", c.EdgeProb)
+	}
+	if (c.Gammas == nil) != (c.Betas == nil) {
+		return nil, fmt.Errorf("gen: qaoa gammas and betas must be set together")
+	}
+	if c.Gammas != nil && (len(c.Gammas) != c.Layers || len(c.Betas) != c.Layers) {
+		return nil, fmt.Errorf("gen: qaoa schedule length %d/%d != layers %d",
+			len(c.Gammas), len(c.Betas), c.Layers)
+	}
+	edges := c.Graph()
+	gammas, betas := c.Schedule()
+	circ := circuit.New(c.Nodes, fmt.Sprintf("qaoa_n%d_p%d_s%d", c.Nodes, c.Layers, c.Seed))
+	for q := 0; q < c.Nodes; q++ {
+		circ.H(q)
+	}
+	circ.EndBlock()
+	for k := 0; k < c.Layers; k++ {
+		for _, e := range edges {
+			circ.CX(e.A, e.B)
+			circ.RZ(2*gammas[k], e.B)
+			circ.CX(e.A, e.B)
+		}
+		for q := 0; q < c.Nodes; q++ {
+			circ.RX(2*betas[k], q)
+		}
+		circ.EndBlock()
+	}
+	return circ, nil
+}
+
+// QAOAMaxCut builds a QAOA MaxCut circuit on a seeded G(n, 0.5) random
+// graph with the default angle schedule. It panics on out-of-range
+// arguments; use QAOAConfig.Generate for error returns.
+func QAOAMaxCut(nodes, layers int, seed int64) *circuit.Circuit {
+	c, err := QAOAConfig{Nodes: nodes, Layers: layers, Seed: seed}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -16,8 +16,18 @@ import (
 //	grover:N[:marked]       bv:N[:secret]
 //	dj:N[:mask]             qpe:T[:numerator:denominator]
 //	adder:N[:a:b]           random:N:GATES[:seed]
-//	qsup:RxC:DEPTH[:seed]
-func FromSpec(spec string) (*circuit.Circuit, error) {
+//	qsup:RxC:DEPTH[:seed]   qaoa:N[:P[:seed]]
+//	vqe:N[:L[:topo[:seed]]] cliffordt:N[:GATES[:TCOUNT[:seed]]]
+//
+// Malformed or out-of-range specs return errors, never panic: integer
+// arguments are capped at ±100000 and generator validation panics are
+// converted to errors at this boundary (FuzzFromSpec holds the line).
+func FromSpec(spec string) (c *circuit.Circuit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("gen: spec %q: %v", spec, r)
+		}
+	}()
 	parts := strings.Split(spec, ":")
 	name := parts[0]
 	argInt := func(i, def int) (int, error) {
@@ -27,6 +37,9 @@ func FromSpec(spec string) (*circuit.Circuit, error) {
 		v, err := strconv.Atoi(parts[i])
 		if err != nil {
 			return 0, fmt.Errorf("gen: spec %q: bad integer %q", spec, parts[i])
+		}
+		if v < -100000 || v > 100000 {
+			return 0, fmt.Errorf("gen: spec %q: argument %d out of range", spec, v)
 		}
 		return v, nil
 	}
@@ -130,6 +143,56 @@ func FromSpec(spec string) (*circuit.Circuit, error) {
 			return nil, err
 		}
 		return RandomCliffordT(n, gates, int64(seed)), nil
+	case "qaoa":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		layers, err := argInt(2, 2)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := argInt(3, 0)
+		if err != nil {
+			return nil, err
+		}
+		return QAOAConfig{Nodes: n, Layers: layers, Seed: int64(seed)}.Generate()
+	case "vqe":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		layers, err := argInt(2, 3)
+		if err != nil {
+			return nil, err
+		}
+		topo := VQELinear
+		if len(parts) > 3 && parts[3] != "" {
+			topo = parts[3]
+		}
+		seed, err := argInt(4, 0)
+		if err != nil {
+			return nil, err
+		}
+		return VQEConfig{Qubits: n, Layers: layers, Topology: topo, Seed: int64(seed)}.Generate()
+	case "cliffordt":
+		n, err := argInt(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		gates, err := argInt(2, 100)
+		if err != nil {
+			return nil, err
+		}
+		tcount, err := argInt(3, 20)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := argInt(4, 0)
+		if err != nil {
+			return nil, err
+		}
+		return CliffordTConfig{Qubits: n, Gates: gates, TCount: tcount, Seed: int64(seed)}.Generate()
 	case "qsup":
 		if len(parts) < 3 {
 			return nil, fmt.Errorf("gen: spec %q: qsup needs RxC:DEPTH", spec)
@@ -149,6 +212,9 @@ func FromSpec(spec string) (*circuit.Circuit, error) {
 		depth, err := strconv.Atoi(parts[2])
 		if err != nil {
 			return nil, fmt.Errorf("gen: spec %q: bad depth", spec)
+		}
+		if rows < 1 || rows > 16 || cols < 1 || cols > 16 || depth < 0 || depth > 10000 {
+			return nil, fmt.Errorf("gen: spec %q: qsup dimensions out of range", spec)
 		}
 		seed, err := argInt(3, 0)
 		if err != nil {

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// VQE entangler topologies.
+const (
+	VQELinear = "linear" // CX chain q→q+1
+	VQEFull   = "full"   // CX on every ordered pair i<j
+)
+
+// VQEConfig describes a hardware-efficient VQE ansatz: Layers+1 rotation
+// layers (RY then RZ on every qubit, seeded angles) interleaved with Layers
+// CX entangler layers in the chosen topology. A block boundary closes each
+// rotation+entangler pair and the final rotation layer.
+type VQEConfig struct {
+	// Qubits is the register width, 1..32.
+	Qubits int
+	// Layers is the entangler layer count, 1..99.
+	Layers int
+	// Topology is VQELinear (default) or VQEFull.
+	Topology string
+	// Angles optionally fixes all (Layers+1)·2·Qubits rotation angles in
+	// layer-major (RY q0..qn, RZ q0..qn) order; nil draws them uniformly
+	// from [0, 2π) with Seed.
+	Angles []float64
+	// Seed drives angle sampling; the same seed reproduces the same circuit.
+	Seed int64
+}
+
+// EntanglerPairs returns the CX (control, target) pairs of one entangler
+// layer for the configured topology.
+func (c VQEConfig) EntanglerPairs() ([][2]int, error) {
+	topo := c.Topology
+	if topo == "" {
+		topo = VQELinear
+	}
+	var pairs [][2]int
+	switch topo {
+	case VQELinear:
+		for q := 0; q+1 < c.Qubits; q++ {
+			pairs = append(pairs, [2]int{q, q + 1})
+		}
+	case VQEFull:
+		for i := 0; i < c.Qubits; i++ {
+			for j := i + 1; j < c.Qubits; j++ {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gen: vqe topology %q (want %q or %q)", topo, VQELinear, VQEFull)
+	}
+	return pairs, nil
+}
+
+// Generate builds the ansatz. Gate count: (Layers+1)·2·Qubits rotations
+// plus Layers·|pairs| entangler CXs.
+func (c VQEConfig) Generate() (*circuit.Circuit, error) {
+	if c.Qubits < 1 || c.Qubits > 32 {
+		return nil, fmt.Errorf("gen: vqe qubits %d outside 1..32", c.Qubits)
+	}
+	if c.Layers < 1 || c.Layers > 99 {
+		return nil, fmt.Errorf("gen: vqe layers %d outside 1..99", c.Layers)
+	}
+	pairs, err := c.EntanglerPairs()
+	if err != nil {
+		return nil, err
+	}
+	need := (c.Layers + 1) * 2 * c.Qubits
+	angles := c.Angles
+	if angles == nil {
+		rng := rand.New(rand.NewSource(c.Seed))
+		angles = make([]float64, need)
+		for i := range angles {
+			angles[i] = rng.Float64() * 2 * math.Pi
+		}
+	} else if len(angles) != need {
+		return nil, fmt.Errorf("gen: vqe %d angles supplied, need %d", len(angles), need)
+	}
+	topo := c.Topology
+	if topo == "" {
+		topo = VQELinear
+	}
+	circ := circuit.New(c.Qubits, fmt.Sprintf("vqe_n%d_l%d_%s_s%d", c.Qubits, c.Layers, topo, c.Seed))
+	next := 0
+	rotationLayer := func() {
+		for q := 0; q < c.Qubits; q++ {
+			circ.RY(angles[next], q)
+			next++
+		}
+		for q := 0; q < c.Qubits; q++ {
+			circ.RZ(angles[next], q)
+			next++
+		}
+	}
+	for k := 0; k < c.Layers; k++ {
+		rotationLayer()
+		for _, p := range pairs {
+			circ.CX(p[0], p[1])
+		}
+		circ.EndBlock()
+	}
+	rotationLayer()
+	circ.EndBlock()
+	return circ, nil
+}
+
+// VQEAnsatz builds a hardware-efficient ansatz with seeded angles. It
+// panics on out-of-range arguments; use VQEConfig.Generate for error
+// returns.
+func VQEAnsatz(qubits, layers int, topology string, seed int64) *circuit.Circuit {
+	c, err := VQEConfig{Qubits: qubits, Layers: layers, Topology: topology, Seed: seed}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -9,9 +9,11 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/atlas"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/gen"
 	"repro/internal/qasm"
 	"repro/internal/sim"
 )
@@ -33,6 +35,15 @@ const (
 	// takes parameters only through StrategyParams (see order.Params), e.g.
 	// {"order":"scored","sift":true,"inner":"memory","inner_params":{...}}.
 	StrategyReorder = "reorder"
+	// StrategyAuto classifies the submitted circuit by gate mix
+	// (gen.Classify) and installs the committed approximability-atlas winner
+	// for its workload class (internal/atlas, docs/ATLAS.md). It resolves
+	// before hashing, so an auto submission shares its cache entry — and its
+	// byte-identical payload — with an explicit submission of the winning
+	// configuration; ResultPayload.ResolvedStrategy reports what was
+	// installed. Auto takes no parameters and only runs noiseless
+	// statevector jobs (the atlas is measured there).
+	StrategyAuto = "auto"
 )
 
 // GateSpec is one gate of an inline circuit submission.
@@ -161,13 +172,48 @@ func CanonicalHash(req JobRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	req, err = resolveAuto(req, circ)
+	if err != nil {
+		return "", err
+	}
 	return contentHash(circ, normalizeForHash(req)), nil
+}
+
+// resolveAuto rewrites a strategy=auto submission into the committed atlas
+// winner for the circuit's workload class. It runs right after circuit
+// resolution in both compile and CanonicalHash — before strategy validation
+// and hashing — so routing tiers and backends agree on the key, and an auto
+// submission is indistinguishable (hash, cache entry, result payload) from
+// explicitly submitting the winning configuration.
+func resolveAuto(req JobRequest, circ *circuit.Circuit) (JobRequest, error) {
+	if req.Strategy != StrategyAuto {
+		return req, nil
+	}
+	if len(req.StrategyParams) > 0 {
+		return req, fmt.Errorf("strategy %q picks its own parameters; strategy_params may not be set", StrategyAuto)
+	}
+	if req.Threshold != 0 || req.Growth != 0 || req.RoundFidelity != 0 || req.FinalFidelity != 0 {
+		return req, fmt.Errorf("strategy %q picks its own parameters; the flat threshold/growth/round_fidelity/final_fidelity fields may not be set", StrategyAuto)
+	}
+	if req.Noise != "" || sim.Backend(req.Backend) == sim.BackendDensity {
+		return req, fmt.Errorf("strategy %q resolves from the noiseless statevector atlas; noisy or density jobs must pick a strategy explicitly", StrategyAuto)
+	}
+	win := atlas.Resolve(gen.Classify(circ))
+	req.Strategy = win.Strategy
+	if win.Params != "" {
+		req.StrategyParams = json.RawMessage(win.Params)
+	}
+	return req, nil
 }
 
 // compile validates the request against the server limits and resolves the
 // circuit, strategy parameters, content hash, and seed.
 func (s *Server) compile(req JobRequest) (*compiled, error) {
 	circ, err := resolveCircuit(req)
+	if err != nil {
+		return nil, err
+	}
+	req, err = resolveAuto(req, circ)
 	if err != nil {
 		return nil, err
 	}

@@ -246,6 +246,13 @@ type ResultPayload struct {
 	NumQubits int    `json:"num_qubits"`
 	GateCount int    `json:"gate_count"`
 	Strategy  string `json:"strategy"`
+	// ResolvedStrategy and ResolvedStrategyParams are the registry name and
+	// JSON parameters the job actually ran under — for strategy=auto
+	// submissions, the atlas winner that was installed. They are set for
+	// every job (auto or explicit), so an auto submission's payload stays
+	// byte-identical to an explicit submission of the same configuration.
+	ResolvedStrategy       string          `json:"resolved_strategy"`
+	ResolvedStrategyParams json.RawMessage `json:"resolved_strategy_params,omitempty"`
 	// Backend is the state representation the job ran on ("statevector"
 	// or "density").
 	Backend string `json:"backend"`
@@ -450,17 +457,19 @@ func (s *Server) finalizer(js *jobState, comp *compiled) func(*batch.JobResult) 
 func buildPayload(jr *batch.JobResult, comp *compiled) ResultPayload {
 	res := jr.Result
 	p := ResultPayload{
-		NumQubits:           res.NumQubits,
-		GateCount:           res.GateCount,
-		Strategy:            res.StrategyName,
-		Backend:             string(res.Backend),
-		ChannelApplications: res.ChannelApplications,
-		Seed:                comp.seed,
-		MaxDDSize:           res.MaxDDSize,
-		FinalDDSize:         res.FinalDDSize,
-		EstimatedFidelity:   res.EstimatedFidelity,
-		FidelityBound:       res.FidelityBound,
-		RuntimeMS:           float64(res.Runtime) / float64(time.Millisecond),
+		NumQubits:              res.NumQubits,
+		GateCount:              res.GateCount,
+		Strategy:               res.StrategyName,
+		ResolvedStrategy:       comp.stratName,
+		ResolvedStrategyParams: comp.stratParams,
+		Backend:                string(res.Backend),
+		ChannelApplications:    res.ChannelApplications,
+		Seed:                   comp.seed,
+		MaxDDSize:              res.MaxDDSize,
+		FinalDDSize:            res.FinalDDSize,
+		EstimatedFidelity:      res.EstimatedFidelity,
+		FidelityBound:          res.FidelityBound,
+		RuntimeMS:              float64(res.Runtime) / float64(time.Millisecond),
 		DD: DDStats{
 			VNodesCreated: res.DDStats.VNodesCreated,
 			MNodesCreated: res.DDStats.MNodesCreated,
